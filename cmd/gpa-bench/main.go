@@ -1,0 +1,135 @@
+// Command gpa-bench regenerates the GPA paper's evaluation artifacts on
+// the simulated V100:
+//
+//	gpa-bench -table3          Table 3: achieved vs estimated speedups
+//	                           for all 26 (app, kernel, optimization)
+//	                           rows, with geometric means and errors.
+//	gpa-bench -fig7            Figure 7: single-dependency coverage
+//	                           before and after pruning, per Rodinia
+//	                           benchmark.
+//	gpa-bench -case-studies    Section 7: the ExaTENSOR, Quicksilver,
+//	                           PeleC, and Minimod walkthroughs with
+//	                           their advice reports.
+//	gpa-bench -all             Everything.
+//
+// Absolute numbers come from the simulator, not the authors' hardware;
+// the reproduced claims are the shapes (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gpa/internal/kernels"
+)
+
+func main() {
+	table3 := flag.Bool("table3", false, "regenerate Table 3")
+	fig7 := flag.Bool("fig7", false, "regenerate Figure 7")
+	cases := flag.Bool("case-studies", false, "run the Section 7 case studies")
+	all := flag.Bool("all", false, "run everything")
+	seed := flag.Uint64("seed", 11, "simulation seed")
+	flag.Parse()
+	if *all {
+		*table3, *fig7, *cases = true, true, true
+	}
+	if !*table3 && !*fig7 && !*cases {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *table3 {
+		if err := runTable3(*seed); err != nil {
+			fail(err)
+		}
+	}
+	if *fig7 {
+		if err := runFigure7(*seed); err != nil {
+			fail(err)
+		}
+	}
+	if *cases {
+		if err := runCaseStudies(*seed); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "gpa-bench:", err)
+	os.Exit(1)
+}
+
+func runTable3(seed uint64) error {
+	fmt.Println("Table 3. Achieved and estimated speedups per benchmark")
+	fmt.Println(strings.Repeat("=", 132))
+	fmt.Printf("%-24s %-26s %-30s %9s %9s %9s %9s %6s %5s\n",
+		"Application", "Kernel", "Optimization",
+		"Achieved", "(paper)", "Estimated", "(paper)", "Error", "Rank")
+	var achieved, estimated, errors []float64
+	for _, b := range kernels.All() {
+		out, err := b.Run(kernels.RunOptions{Seed: seed})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-24s %-26s %-30s %8.2fx %8.2fx %8.2fx %8.2fx %5.0f%% %5d\n",
+			b.App, b.Kernel, b.Optimization,
+			out.Achieved, b.PaperAchieved,
+			out.Estimated, b.PaperEstimated,
+			out.Error*100, out.Rank)
+		achieved = append(achieved, out.Achieved)
+		estimated = append(estimated, out.Estimated)
+		errors = append(errors, out.Error)
+	}
+	fmt.Println(strings.Repeat("-", 132))
+	var errSum float64
+	for _, e := range errors {
+		errSum += e
+	}
+	fmt.Printf("%-82s %8.2fx %8.2fx %8.2fx %8.2fx %5.1f%%\n",
+		"geomean",
+		kernels.GeoMean(achieved), 1.22,
+		kernels.GeoMean(estimated), 1.26,
+		errSum/float64(len(errors))*100)
+	fmt.Println()
+	return nil
+}
+
+func runFigure7(seed uint64) error {
+	fmt.Println("Figure 7. Single dependency coverage before and after pruning cold edges")
+	fmt.Println(strings.Repeat("=", 72))
+	fmt.Printf("%-26s %10s %10s   %s\n", "Benchmark", "Before", "After", "")
+	for _, b := range kernels.Rodinia() {
+		before, after, err := kernels.Coverage(b, kernels.RunOptions{Seed: seed})
+		if err != nil {
+			return err
+		}
+		bar := strings.Repeat("#", int(after*20+0.5))
+		fmt.Printf("%-26s %10.3f %10.3f   %s\n", b.App, before, after, bar)
+	}
+	fmt.Println()
+	return nil
+}
+
+func runCaseStudies(seed uint64) error {
+	for _, app := range []string{"ExaTENSOR", "Quicksilver", "PeleC", "Minimod"} {
+		fmt.Printf("Case study: %s\n%s\n", app, strings.Repeat("=", 60))
+		for _, b := range kernels.Find(app) {
+			out, err := b.Run(kernels.RunOptions{Seed: seed})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("\n--- %s / %s: applying %q ---\n", b.App, b.Kernel, b.Optimization)
+			fmt.Printf("achieved %.2fx (paper %.2fx), estimated %.2fx (paper %.2fx)\n",
+				out.Achieved, b.PaperAchieved, out.Estimated, b.PaperEstimated)
+			fmt.Println("\nTop advice for the baseline kernel:")
+			for i, e := range out.Report.Top(3) {
+				fmt.Printf("  %d. %-42s ratio %5.1f%%  est %.3fx\n",
+					i+1, e.Optimizer, e.Ratio*100, e.Speedup)
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+// Command gpa is the command-line front end of the GPU performance
+// advisor: it profiles a kernel on the simulated V100 (PC sampling
+// included) and prints ranked optimization advice in the paper's report
+// format.
+//
+// Usage:
+//
+//	gpa list
+//	    List the bundled benchmark kernels (the paper's Table 3 rows).
+//
+//	gpa advise -bench "rodinia/hotspot"
+//	    Profile a bundled benchmark's baseline kernel and print advice.
+//
+//	gpa advise -asm kernel.sass -entry mykernel -grid 640 -block 256
+//	    Assemble a SASS file, profile it, and print advice.
+//
+//	gpa profile -asm kernel.sass -entry mykernel -o profile.json
+//	    Run the profiler only and save the profile for offline analysis.
+//
+//	gpa analyze -asm kernel.sass -profile profile.json
+//	    Offline analysis of a saved profile.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpa"
+	"gpa/internal/kernels"
+	"gpa/internal/profiler"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = runList()
+	case "advise":
+		err = runAdvise(os.Args[2:])
+	case "profile":
+		err = runProfile(os.Args[2:])
+	case "analyze":
+		err = runAnalyze(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "gpa: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpa:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  gpa list
+  gpa advise  -bench NAME | -asm FILE -entry K [-grid N] [-block N] [-regs N] [-shared N]
+  gpa profile -asm FILE -entry K [-grid N] [-block N] -o PROFILE.json
+  gpa analyze -asm FILE -profile PROFILE.json`)
+}
+
+func runList() error {
+	fmt.Printf("%-26s %-28s %-30s %9s %9s\n",
+		"APP", "KERNEL", "OPTIMIZATION", "PAPER-ACH", "PAPER-EST")
+	for _, b := range kernels.All() {
+		fmt.Printf("%-26s %-28s %-30s %8.2fx %8.2fx\n",
+			b.App, b.Kernel, b.Optimization, b.PaperAchieved, b.PaperEstimated)
+	}
+	return nil
+}
+
+type launchFlags struct {
+	asm    string
+	entry  string
+	grid   int
+	block  int
+	regs   int
+	shared int
+	period int
+	seed   uint64
+}
+
+func (lf *launchFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&lf.asm, "asm", "", "SASS assembly file")
+	fs.StringVar(&lf.entry, "entry", "", "kernel (global function) name")
+	fs.IntVar(&lf.grid, "grid", 640, "grid size (blocks)")
+	fs.IntVar(&lf.block, "block", 256, "block size (threads)")
+	fs.IntVar(&lf.regs, "regs", 32, "registers per thread")
+	fs.IntVar(&lf.shared, "shared", 0, "shared memory per block (bytes)")
+	fs.IntVar(&lf.period, "period", 0, "PC sampling period in cycles (0 = default)")
+	fs.Uint64Var(&lf.seed, "seed", 11, "simulation seed")
+}
+
+func (lf *launchFlags) kernel() (*gpa.Kernel, *gpa.Options, error) {
+	if lf.asm == "" {
+		return nil, nil, fmt.Errorf("missing -asm FILE")
+	}
+	src, err := os.ReadFile(lf.asm)
+	if err != nil {
+		return nil, nil, err
+	}
+	k, err := gpa.LoadKernelAsm(string(src), gpa.Launch{
+		Entry: lf.entry, GridX: lf.grid, BlockX: lf.block,
+		RegsPerThread: lf.regs, SharedMemPerBlock: lf.shared,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return k, &gpa.Options{SamplePeriod: lf.period, Seed: lf.seed, SimSMs: 1}, nil
+}
+
+func runAdvise(args []string) error {
+	fs := flag.NewFlagSet("advise", flag.ExitOnError)
+	var lf launchFlags
+	lf.register(fs)
+	bench := fs.String("bench", "", "bundled benchmark app name (see `gpa list`)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *bench != "" {
+		bs := kernels.Find(*bench)
+		if len(bs) == 0 {
+			return fmt.Errorf("no bundled benchmark %q (try `gpa list`)", *bench)
+		}
+		b := bs[0]
+		k, wl, err := b.Base.Build()
+		if err != nil {
+			return err
+		}
+		report, err := k.Advise(&gpa.Options{Workload: wl, Seed: lf.seed, SimSMs: 1})
+		if err != nil {
+			return err
+		}
+		report.Render(os.Stdout)
+		return nil
+	}
+	k, opts, err := lf.kernel()
+	if err != nil {
+		return err
+	}
+	report, err := k.Advise(opts)
+	if err != nil {
+		return err
+	}
+	report.Render(os.Stdout)
+	return nil
+}
+
+func runProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	var lf launchFlags
+	lf.register(fs)
+	out := fs.String("o", "profile.json", "output profile path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	k, opts, err := lf.kernel()
+	if err != nil {
+		return err
+	}
+	prof, err := k.Profile(opts)
+	if err != nil {
+		return err
+	}
+	if err := prof.Save(*out); err != nil {
+		return err
+	}
+	fmt.Printf("kernel %s: %d cycles, %d samples (%d active / %d latency), RI %.3f -> %s\n",
+		prof.Kernel, prof.Cycles, prof.TotalSamples, prof.ActiveSamples,
+		prof.LatencySamples, prof.IssueRatio, *out)
+	return nil
+}
+
+func runAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	var lf launchFlags
+	lf.register(fs)
+	profPath := fs.String("profile", "", "profile JSON produced by `gpa profile`")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *profPath == "" {
+		return fmt.Errorf("missing -profile FILE")
+	}
+	k, opts, err := lf.kernel()
+	if err != nil {
+		return err
+	}
+	prof, err := profiler.LoadFile(*profPath)
+	if err != nil {
+		return err
+	}
+	report, err := k.AdviseFromProfile(prof, opts)
+	if err != nil {
+		return err
+	}
+	report.Render(os.Stdout)
+	return nil
+}

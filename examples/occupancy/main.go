@@ -1,0 +1,104 @@
+// Occupancy tuning with the parallel optimizers: a gaussian-elimination
+// style kernel launched with one-warp blocks caps resident warps at the
+// blocks-per-SM limit, so each scheduler has too few warps to hide
+// memory latency. GPA's thread-increase optimizer detects the limiter
+// and estimates the speedup via Equations 6-10; this example verifies
+// the estimate by re-running the kernel at the suggested block size.
+//
+// Run with: go run ./examples/occupancy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpa"
+)
+
+const kernelSrc = `
+.module sm_70
+.func fan2 global
+.line gaussian.cu 30
+	MOV R0, 0x0 {S:2}
+	S2R R1, SR_TID.X {S:2, W:5}
+	IMAD R2, R1, 0x4, RZ {S:4, Q:5}
+	IADD R2, R2, c[0x0][0x160] {S:2}
+LOOP:
+.line gaussian.cu 33
+	LDG.E.32 R8, [R2] {S:1, W:0}
+.line gaussian.cu 34
+	FFMA R12, R8, R13, R12 {S:4, Q:0}
+	FFMA R16, R16, R24, R16 {S:2}
+	IADD R2, R2, 0x4 {S:4}
+	IADD R0, R0, 0x1 {S:4}
+	ISETP P0, R0, 0x30 {S:4}
+BR0:	@P0 BRA LOOP {S:5}
+	STG.E.32 [R2], R12 {S:1, R:1}
+	EXIT {Q:1}
+`
+
+func run(blockThreads, gridBlocks int) (int64, *gpa.Report, error) {
+	kernel, err := gpa.LoadKernelAsm(kernelSrc, gpa.Launch{
+		Entry: "fan2", GridX: gridBlocks, BlockX: blockThreads, RegsPerThread: 32,
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	wl, err := kernel.BindWorkload(&gpa.WorkloadSpec{
+		Trips: map[gpa.Site]gpa.TripFunc{
+			{Func: "fan2", Label: "BR0"}: gpa.UniformTrips(48),
+		},
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	opts := &gpa.Options{Workload: wl, Seed: 3, SimSMs: 1}
+	cycles, err := kernel.Measure(opts)
+	if err != nil {
+		return 0, nil, err
+	}
+	report, err := kernel.Advise(opts)
+	return cycles, report, err
+}
+
+func main() {
+	// Baseline: 5120 one-warp blocks (the same 163840 threads as the
+	// tuned launch below).
+	baseCycles, baseReport, err := run(32, 5120)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := baseReport.Profile
+	fmt.Printf("baseline: 32-thread blocks -> %d warps/scheduler (limiter: %s), %d cycles\n",
+		p.WarpsPerScheduler, p.OccupancyLimiter, baseCycles)
+
+	var estimated float64
+	for _, e := range baseReport.Advice.Entries {
+		if e.Optimizer == "GPUThreadIncreaseOptimizer" {
+			estimated = e.Speedup
+		}
+	}
+	if estimated == 0 {
+		log.Fatal("thread-increase optimizer did not match — unexpected for this launch")
+	}
+	fmt.Printf("GPA suggests increasing threads per block; estimated speedup %.2fx\n\n", estimated)
+
+	// Apply the suggestion: 256-thread blocks, same total threads.
+	optCycles, optReport, err := run(256, 640)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tuned:    256-thread blocks -> %d warps/scheduler (limiter: %s), %d cycles\n",
+		optReport.Profile.WarpsPerScheduler, optReport.Profile.OccupancyLimiter, optCycles)
+
+	achieved := float64(baseCycles) / float64(optCycles)
+	fmt.Printf("\nachieved %.2fx vs estimated %.2fx (error %.0f%%)\n",
+		achieved, estimated, 100*abs(estimated-achieved)/achieved)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,251 @@
+// Package gpa is a GPU performance advisor based on instruction
+// sampling, reproducing the system of Zhou et al., "GPA: A GPU
+// Performance Advisor Based on Instruction Sampling" (CGO 2021), on a
+// simulated Volta-class GPU.
+//
+// The pipeline mirrors the paper's Figure 2:
+//
+//	kernel (SASS text or CUBIN blob)
+//	   │ profiler: simulate + PC sampling        (runtime)
+//	   ▼
+//	profile (per-PC samples, launch statistics)
+//	   │ static analyzer: CFG, loops, structure  (offline)
+//	   │ instruction blamer: slicing, pruning, apportioning
+//	   │ optimizers + estimators: Table 2, Equations 2-10
+//	   ▼
+//	ranked advice report (Figure 8 format)
+//
+// # Quick start
+//
+//	kernel, err := gpa.LoadKernelAsm(src, gpa.Launch{
+//		Entry: "mykernel", GridX: 160, BlockX: 256,
+//	})
+//	report, err := kernel.Advise(nil)
+//	fmt.Print(report)
+//
+// The package wraps the internal building blocks (sass assembler, cubin
+// container, cycle-level gpusim simulator, sampling, profiler, blamer,
+// advisor); power users can drive those stages separately via the
+// exported helpers on Kernel.
+package gpa
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"gpa/internal/arch"
+	"gpa/internal/blamer"
+	"gpa/internal/cubin"
+	"gpa/internal/gpusim"
+	"gpa/internal/profiler"
+	"gpa/internal/sass"
+	"gpa/internal/structure"
+
+	adv "gpa/internal/advisor"
+)
+
+// Launch describes a kernel launch configuration.
+type Launch struct {
+	// Entry is the kernel (global function) name.
+	Entry string
+	// Grid and block dimensions; zero components default to 1.
+	GridX, GridY, GridZ    int
+	BlockX, BlockY, BlockZ int
+	// RegsPerThread and SharedMemPerBlock feed occupancy calculation.
+	RegsPerThread     int
+	SharedMemPerBlock int
+}
+
+func (l Launch) config() gpusim.LaunchConfig {
+	return gpusim.LaunchConfig{
+		Entry:             l.Entry,
+		Grid:              gpusim.Dim3{X: l.GridX, Y: l.GridY, Z: l.GridZ},
+		Block:             gpusim.Dim3{X: l.BlockX, Y: l.BlockY, Z: l.BlockZ},
+		RegsPerThread:     l.RegsPerThread,
+		SharedMemPerBlock: l.SharedMemPerBlock,
+	}
+}
+
+// Options tunes profiling and analysis.
+type Options struct {
+	// GPU selects the architecture model (nil resolves the module's
+	// arch flag; sm_70 maps to a V100).
+	GPU *arch.GPU
+	// SamplePeriod is the PC sampling period in cycles (0 = 64).
+	SamplePeriod int
+	// SimSMs bounds detailed SM simulation (0 = 4).
+	SimSMs int
+	// Seed perturbs the simulator's deterministic latency jitter.
+	Seed uint64
+	// Blamer toggles pruning/apportioning heuristics (zero value =
+	// everything on, the paper's configuration).
+	Blamer blamer.Options
+	// Workload supplies branch trip counts and memory behaviour; nil
+	// runs every conditional branch not-taken with default latencies.
+	Workload Workload
+}
+
+// Workload re-exports the simulator's workload model.
+type Workload = gpusim.Workload
+
+// WorkloadSpec re-exports the declarative workload builder.
+type WorkloadSpec = gpusim.Spec
+
+// Site names an instruction by (function, label) in a workload spec.
+type Site = gpusim.Site
+
+// WarpCtx identifies a warp in workload callbacks.
+type WarpCtx = gpusim.WarpCtx
+
+// TripFunc yields a per-warp loop trip count in workload specs.
+type TripFunc = gpusim.TripFunc
+
+// UniformTrips builds a TripFunc with the same count for all warps.
+func UniformTrips(n int) TripFunc { return gpusim.UniformTrips(n) }
+
+// Kernel is a loaded GPU kernel plus its launch configuration.
+type Kernel struct {
+	Module *sass.Module
+	Launch Launch
+}
+
+// LoadKernelAsm assembles SASS text into a kernel.
+func LoadKernelAsm(src string, launch Launch) (*Kernel, error) {
+	mod, err := sass.Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	if launch.Entry == "" {
+		ks := mod.Kernels()
+		if len(ks) != 1 {
+			return nil, fmt.Errorf("gpa: specify Launch.Entry (module has %d kernels)", len(ks))
+		}
+		launch.Entry = ks[0].Name
+	}
+	if mod.Function(launch.Entry) == nil {
+		return nil, fmt.Errorf("gpa: no kernel %q in module", launch.Entry)
+	}
+	return &Kernel{Module: mod, Launch: launch}, nil
+}
+
+// LoadKernelBinary unpacks a CUBIN blob produced by SaveBinary.
+func LoadKernelBinary(blob []byte, launch Launch) (*Kernel, error) {
+	mod, err := cubin.Unpack(blob)
+	if err != nil {
+		return nil, err
+	}
+	if mod.Function(launch.Entry) == nil {
+		return nil, fmt.Errorf("gpa: no kernel %q in module", launch.Entry)
+	}
+	return &Kernel{Module: mod, Launch: launch}, nil
+}
+
+// SaveBinary packs the kernel's module into the CUBIN container format.
+func (k *Kernel) SaveBinary() ([]byte, error) { return cubin.Pack(k.Module) }
+
+// BindWorkload resolves a declarative workload spec against the kernel.
+func (k *Kernel) BindWorkload(spec *WorkloadSpec) (Workload, error) {
+	prog, err := gpusim.Load(k.Module)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Bind(prog)
+}
+
+// Profile simulates one launch with PC sampling and returns the profile.
+func (k *Kernel) Profile(opts *Options) (*profiler.Profile, error) {
+	o := normalize(opts)
+	return profiler.Collect(k.Module, k.Launch.config(), o.Workload, profiler.Options{
+		GPU:          o.GPU,
+		SamplePeriod: o.SamplePeriod,
+		SimSMs:       o.SimSMs,
+		Seed:         o.Seed,
+	})
+}
+
+// Measure simulates one launch without sampling and returns the kernel
+// duration in cycles (used to measure achieved speedups).
+func (k *Kernel) Measure(opts *Options) (int64, error) {
+	o := normalize(opts)
+	prog, err := gpusim.Load(k.Module)
+	if err != nil {
+		return 0, err
+	}
+	wl := o.Workload
+	res, err := gpusim.Run(prog, k.Launch.config(), wl, gpusim.Config{
+		GPU:    o.GPU,
+		SimSMs: o.SimSMs,
+		Seed:   o.Seed,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.Cycles, nil
+}
+
+// Report is a ranked advice report.
+type Report struct {
+	Advice  *adv.Advice
+	Profile *profiler.Profile
+	Context *adv.Context
+}
+
+// String renders the Figure 8-style text report.
+func (r *Report) String() string {
+	var sb strings.Builder
+	r.Render(&sb)
+	return sb.String()
+}
+
+// Render writes the report.
+func (r *Report) Render(w io.Writer) { r.Advice.Render(w) }
+
+// Top returns the n highest-ranked advice entries.
+func (r *Report) Top(n int) []adv.AdviceEntry { return r.Advice.Top(n) }
+
+// Advise profiles the kernel and runs the full dynamic analysis:
+// instruction blaming, optimizer matching, speedup estimation, ranking.
+func (k *Kernel) Advise(opts *Options, extra ...adv.RankedOptimizer) (*Report, error) {
+	prof, err := k.Profile(opts)
+	if err != nil {
+		return nil, err
+	}
+	return k.AdviseFromProfile(prof, opts, extra...)
+}
+
+// AdviseFromProfile analyses an existing profile (the offline half of
+// the pipeline).
+func (k *Kernel) AdviseFromProfile(prof *profiler.Profile, opts *Options,
+	extra ...adv.RankedOptimizer) (*Report, error) {
+	o := normalize(opts)
+	ctx, err := adv.BuildContext(k.Module, prof, o.GPU, o.Blamer)
+	if err != nil {
+		return nil, err
+	}
+	ros := adv.DefaultOptimizers()
+	ros = append(ros, extra...)
+	advice := adv.Advise(ctx, ros...)
+	return &Report{Advice: advice, Profile: prof, Context: ctx}, nil
+}
+
+// Structure returns the kernel's recovered program structure (functions,
+// loop nests, line mappings).
+func (k *Kernel) Structure() (*structure.Structure, error) {
+	return structure.Analyze(k.Module)
+}
+
+func normalize(opts *Options) Options {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	if o.GPU == nil {
+		o.GPU = arch.VoltaV100()
+	}
+	return o
+}
+
+// V100 returns the Volta V100 architecture model used in the paper's
+// evaluation.
+func V100() *arch.GPU { return arch.VoltaV100() }

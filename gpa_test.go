@@ -1,0 +1,162 @@
+package gpa_test
+
+import (
+	"strings"
+	"testing"
+
+	"gpa"
+)
+
+const apiKernelSrc = `
+.module sm_70
+.func vecscale global
+.line vecscale.cu 5
+	MOV R0, 0x0 {S:2}
+	S2R R1, SR_TID.X {S:2, W:5}
+	IMAD R2, R1, 0x4, RZ {S:4, Q:5}
+	IADD R2, R2, c[0x0][0x160] {S:2}
+LOOP:
+.line vecscale.cu 7
+	LDG.E.32 R4, [R2] {S:1, W:0}
+.line vecscale.cu 8
+	FMUL R5, R4, 2f {S:4, Q:0}
+	IADD R2, R2, 0x4 {S:4}
+	IADD R0, R0, 0x1 {S:4}
+	ISETP P0, R0, 0x40 {S:4}
+BR0:	@P0 BRA LOOP {S:5}
+	STG.E.32 [R2], R5 {S:1, R:1}
+	EXIT {Q:1}
+`
+
+func apiKernel(t *testing.T) (*gpa.Kernel, *gpa.Options) {
+	t.Helper()
+	k, err := gpa.LoadKernelAsm(apiKernelSrc, gpa.Launch{
+		Entry: "vecscale", GridX: 160, BlockX: 256, RegsPerThread: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := k.BindWorkload(&gpa.WorkloadSpec{
+		Trips: map[gpa.Site]gpa.TripFunc{
+			{Func: "vecscale", Label: "BR0"}: gpa.UniformTrips(64),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, &gpa.Options{Workload: wl, Seed: 9, SimSMs: 1}
+}
+
+func TestLoadKernelAsmAutoEntry(t *testing.T) {
+	k, err := gpa.LoadKernelAsm(apiKernelSrc, gpa.Launch{GridX: 1, BlockX: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Launch.Entry != "vecscale" {
+		t.Errorf("auto entry = %q", k.Launch.Entry)
+	}
+	if _, err := gpa.LoadKernelAsm(apiKernelSrc, gpa.Launch{Entry: "missing"}); err == nil {
+		t.Error("unknown entry must fail")
+	}
+	if _, err := gpa.LoadKernelAsm("garbage", gpa.Launch{}); err == nil {
+		t.Error("bad assembly must fail")
+	}
+}
+
+func TestMeasureAndAdvise(t *testing.T) {
+	k, opts := apiKernel(t)
+	cycles, err := k.Measure(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles <= 0 {
+		t.Fatal("no cycles")
+	}
+	report, err := k.Advise(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Advice.Entries) == 0 {
+		t.Fatal("no advice")
+	}
+	text := report.String()
+	if !strings.Contains(text, "GPA performance report for kernel vecscale") {
+		t.Errorf("report header missing:\n%s", text)
+	}
+	if !strings.Contains(text, "vecscale.cu") {
+		t.Errorf("report lacks source attribution:\n%s", text)
+	}
+	if top := report.Top(2); len(top) != 2 {
+		t.Errorf("Top(2) = %d entries", len(top))
+	}
+}
+
+func TestBinaryRoundTripThroughAPI(t *testing.T) {
+	k, opts := apiKernel(t)
+	blob, err := k.SaveBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := gpa.LoadKernelBinary(blob, k.Launch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The binary round trip drops label tables, so bind workloads by
+	// running the original's profile against the unpacked module: a
+	// plain Measure with default workload must still run.
+	noWL := *opts
+	noWL.Workload = nil
+	cycles, err := k2.Measure(&noWL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles <= 0 {
+		t.Fatal("unpacked kernel did not run")
+	}
+	if _, err := gpa.LoadKernelBinary([]byte("junk"), k.Launch); err == nil {
+		t.Error("junk binary must fail")
+	}
+}
+
+func TestProfileThenOfflineAdvise(t *testing.T) {
+	k, opts := apiKernel(t)
+	prof, err := k.Profile(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.TotalSamples == 0 || prof.Cycles == 0 {
+		t.Fatalf("empty profile: %+v", prof)
+	}
+	report, err := k.AdviseFromProfile(prof, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Profile != prof {
+		t.Error("report should reference the given profile")
+	}
+	if len(report.Advice.Entries) == 0 {
+		t.Error("offline advise produced no entries")
+	}
+}
+
+func TestStructureAccess(t *testing.T) {
+	k, _ := apiKernel(t)
+	st, err := k.Structure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := st.Func("vecscale")
+	if fs == nil {
+		t.Fatal("no structure for vecscale")
+	}
+	if len(fs.CFG.Loops()) != 1 {
+		t.Errorf("loops = %d, want 1", len(fs.CFG.Loops()))
+	}
+}
+
+func TestV100Defaults(t *testing.T) {
+	g := gpa.V100()
+	if g.NumSMs != 80 || g.SchedulersPerSM != 4 {
+		t.Errorf("V100 geometry: %+v", g)
+	}
+}

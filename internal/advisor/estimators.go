@@ -1,0 +1,128 @@
+package advisor
+
+import "math"
+
+// StallElimination implements Equation 2: assuming a code change can at
+// best eliminate all matched stalls M out of T total samples,
+//
+//	Se = T / (T - M).
+type StallElimination struct{}
+
+// Estimate applies Equation 2.
+func (StallElimination) Estimate(ctx *Context, m *Match) float64 {
+	t := float64(ctx.T)
+	if t <= 0 {
+		return 1
+	}
+	matched := math.Min(m.Matched, t-1)
+	if matched <= 0 {
+		return 1
+	}
+	return t / (t - matched)
+}
+
+// LatencyHiding implements Equation 4: rearranged code can at best fill
+// latency slots with the kernel's active samples A, so
+//
+//	Sh = T / (T - min(A, ML)).
+//
+// Theorem 5.1 of the paper bounds this at 2x, which Estimate preserves
+// by construction. When the match carries per-scope information
+// (Equation 5), each scope's speedup is bounded by the active samples
+// available inside that scope, and the best scope wins:
+//
+//	Shl = T / (T - min(Σ_{l'∈nested(l)} A_{l'}, ML_l)).
+type LatencyHiding struct{}
+
+// Estimate applies Equation 5 when scopes are present, Equation 4
+// otherwise.
+func (LatencyHiding) Estimate(ctx *Context, m *Match) float64 {
+	t := float64(ctx.T)
+	if t <= 0 {
+		return 1
+	}
+	kernelLevel := speedupFrom(t, float64(ctx.A), m.MatchedLatency)
+	if len(m.Scopes) == 0 {
+		return kernelLevel
+	}
+	best := 1.0
+	for _, sc := range m.Scopes {
+		s := speedupFrom(t, float64(sc.Actives), sc.MatchedLatency)
+		if s > best {
+			best = s
+		}
+	}
+	// A scope can never beat the kernel-level bound.
+	return math.Min(best, kernelLevel)
+}
+
+func speedupFrom(t, actives, matchedLatency float64) float64 {
+	hidden := math.Min(actives, matchedLatency)
+	if hidden <= 0 {
+		return 1
+	}
+	if hidden >= t {
+		hidden = t - 1
+	}
+	return t / (t - hidden)
+}
+
+// Parallel implements Equations 6-10: adjusting blocks or threads
+// changes each scheduler's resident warps from W to Wnew (CW = Wnew/W,
+// Equation 6) and its issue rate from I to Inew (CI = Inew/I, Equation
+// 7), where a scheduler issues when at least one of its W warps is
+// ready:
+//
+//	I    = 1 - (1 - RI)^W        (Equation 8)
+//	Inew = 1 - (1 - RI)^Wnew     (Equation 9)
+//	Sp   = (1 / CW) × CI × f     (Equation 10)
+//
+// f is an optimizer-specific factor (Section 5.2.2).
+type Parallel struct {
+	// WNew computes the new warps-per-scheduler count.
+	WNew func(ctx *Context) float64
+	// F computes the optimizer-specific factor f (nil = 1).
+	F func(ctx *Context, w, wNew float64) float64
+}
+
+// Estimate applies Equation 10.
+func (p Parallel) Estimate(ctx *Context, m *Match) float64 {
+	w := float64(ctx.Profile.WarpsPerScheduler)
+	if w <= 0 {
+		return 1
+	}
+	wNew := p.WNew(ctx)
+	if wNew <= 0 {
+		return 1
+	}
+	// RI is the per-warp issue probability: samples observe individual
+	// warps round-robin, so the issued-sample ratio estimates how often
+	// any one warp is ready to issue.
+	ri := clamp01(ctx.Profile.IssueRatio)
+	i := 1 - math.Pow(1-ri, w)
+	iNew := 1 - math.Pow(1-ri, wNew)
+	if i <= 0 {
+		return 1
+	}
+	cw := wNew / w
+	ci := iNew / i
+	f := 1.0
+	if p.F != nil {
+		f = p.F(ctx, w, wNew)
+	}
+	sp := (1 / cw) * ci * f
+	if sp < 1 {
+		return 1
+	}
+	return sp
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 0.999 {
+		return 0.999
+	}
+	return v
+}

@@ -1,0 +1,522 @@
+package advisor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gpa/internal/blamer"
+	"gpa/internal/gpusim"
+	"gpa/internal/sass"
+)
+
+// Categories.
+const (
+	CatStallElimination = "stall elimination"
+	CatLatencyHiding    = "latency hiding"
+	CatParallel         = "parallel"
+)
+
+// DefaultOptimizers returns the Table 2 optimizer set paired with its
+// estimators, in a deterministic order.
+func DefaultOptimizers() []RankedOptimizer {
+	return []RankedOptimizer{
+		{RegisterReuse{}, StallElimination{}},
+		{StrengthReduction{}, StallElimination{}},
+		{FunctionSplit{}, StallElimination{}},
+		{FastMath{}, StallElimination{}},
+		{WarpBalance{}, StallElimination{}},
+		{MemoryTransactionReduction{}, StallElimination{}},
+		{LoopUnrolling{}, LatencyHiding{}},
+		{CodeReordering{}, LatencyHiding{}},
+		{FunctionInlining{}, LatencyHiding{}},
+		{BlockIncrease{}, Parallel{WNew: blockIncreaseWNew, F: blockIncreaseF}},
+		{ThreadIncrease{}, Parallel{WNew: threadIncreaseWNew, F: threadIncreaseF}},
+	}
+}
+
+// RankedOptimizer pairs an optimizer with its estimator.
+type RankedOptimizer struct {
+	Optimizer Optimizer
+	Estimator Estimator
+}
+
+// collectEdges walks every function's surviving blame edges, calling
+// keep to decide membership, and accumulates matched stalls, matched
+// latency stalls, and hotspots.
+func collectEdges(ctx *Context, keep func(fc *FuncContext, e *blamer.Edge) bool) *Match {
+	m := &Match{Applicable: true}
+	for name, fc := range ctx.Funcs {
+		for _, e := range fc.Blame.SurvivingEdges() {
+			if !keep(fc, e) {
+				continue
+			}
+			m.Matched += e.Stalls
+			m.MatchedLatency += e.LatencyStalls
+			m.Hotspots = append(m.Hotspots, Hotspot{
+				FuncName: name,
+				Def:      e.Def,
+				Use:      e.Use,
+				Stalls:   e.Stalls,
+				Distance: e.PathLen,
+				Detail:   e.Detail.String(),
+			})
+		}
+	}
+	finishHotspots(m)
+	return m
+}
+
+// collectSelf gathers self-attributed stalls of one reason.
+func collectSelf(ctx *Context, reason gpusim.StallReason) *Match {
+	m := &Match{Applicable: true}
+	for name, fc := range ctx.Funcs {
+		for pc, reasons := range fc.Blame.Self {
+			n := reasons[reason]
+			if n == 0 {
+				continue
+			}
+			m.Matched += float64(n)
+			m.MatchedLatency += float64(fc.Blame.SelfLatency[pc][reason])
+			m.Hotspots = append(m.Hotspots, Hotspot{
+				FuncName: name,
+				Def:      pc,
+				Use:      -1,
+				Stalls:   float64(n),
+				Detail:   reason.String(),
+			})
+		}
+	}
+	finishHotspots(m)
+	return m
+}
+
+// maxHotspots bounds the hotspot list per optimizer (the paper's report
+// shows the top five).
+const maxHotspots = 5
+
+func finishHotspots(m *Match) {
+	sort.Slice(m.Hotspots, func(i, j int) bool {
+		if m.Hotspots[i].Stalls != m.Hotspots[j].Stalls {
+			return m.Hotspots[i].Stalls > m.Hotspots[j].Stalls
+		}
+		if m.Hotspots[i].FuncName != m.Hotspots[j].FuncName {
+			return m.Hotspots[i].FuncName < m.Hotspots[j].FuncName
+		}
+		return m.Hotspots[i].Def < m.Hotspots[j].Def
+	})
+	if len(m.Hotspots) > maxHotspots {
+		m.Hotspots = m.Hotspots[:maxHotspots]
+	}
+}
+
+// RegisterReuse matches memory dependency stalls of local memory
+// read/write instructions — local traffic signals register spills.
+type RegisterReuse struct{}
+
+func (RegisterReuse) Name() string     { return "GPURegisterReuseOptimizer" }
+func (RegisterReuse) Category() string { return CatStallElimination }
+func (RegisterReuse) Suggestion() string {
+	return `Local memory traffic indicates register spilling.
+1. Split large loops or functions so fewer values are live at once.
+2. Recompute cheap expressions instead of keeping them in registers.
+3. Restructure data so per-thread arrays become registers or shared memory.`
+}
+func (RegisterReuse) Match(ctx *Context) *Match {
+	return collectEdges(ctx, func(fc *FuncContext, e *blamer.Edge) bool {
+		return e.Detail == blamer.DetailLocalMem
+	})
+}
+
+// StrengthReduction matches execution dependency stalls whose source is
+// a long-latency arithmetic instruction.
+type StrengthReduction struct{}
+
+func (StrengthReduction) Name() string     { return "GPUStrengthReductionOptimizer" }
+func (StrengthReduction) Category() string { return CatStallElimination }
+func (StrengthReduction) Suggestion() string {
+	return `Long latency non-memory instructions are used. Look for improvements that are mathematically equivalent, but the compiler is not intelligent to do so.
+1. Avoid integer division. Integer division requires using a special function unit to perform floating point transformations. One can use multiplication by a reciprocal instead.
+2. Avoid conversion. If the float constant is multiplied by a 32-bit float value, the compiler might transform the 32-bit value to a 64-bit value first.`
+}
+func (StrengthReduction) Match(ctx *Context) *Match {
+	return collectEdges(ctx, func(fc *FuncContext, e *blamer.Edge) bool {
+		if e.Detail != blamer.DetailArith {
+			return false
+		}
+		def := &fc.FS.Fn.Instrs[e.Def]
+		return isLongLatencyArith(ctx, def)
+	})
+}
+
+func isLongLatencyArith(ctx *Context, in *sass.Instruction) bool {
+	switch in.Opcode.Info().Class {
+	case sass.ClassMUFU, sass.ClassConvert, sass.ClassFP64:
+		return true
+	}
+	if in.Opcode == sass.OpIMAD && in.Mods.Has(sass.ModWide) {
+		return true
+	}
+	return ctx.GPU.FixedLatency(in.Opcode, in.Mods) >= 8
+}
+
+// FunctionSplit matches instruction fetch stalls: code too large for the
+// instruction cache.
+type FunctionSplit struct{}
+
+func (FunctionSplit) Name() string     { return "GPUFunctionSplitOptimizer" }
+func (FunctionSplit) Category() string { return CatStallElimination }
+func (FunctionSplit) Suggestion() string {
+	return `Instruction fetch stalls indicate the kernel's working set exceeds the instruction cache.
+1. Split rarely-taken cold paths into separate device functions.
+2. Reduce loop unrolling factors and forced inlining for cold code.`
+}
+func (FunctionSplit) Match(ctx *Context) *Match {
+	return collectSelf(ctx, gpusim.ReasonInstructionFetch)
+}
+
+// FastMath matches stalls attributed to CUDA math-library functions.
+type FastMath struct{}
+
+func (FastMath) Name() string     { return "GPUFastMathOptimizer" }
+func (FastMath) Category() string { return CatStallElimination }
+func (FastMath) Suggestion() string {
+	return `High-precision math functions dominate the stalls.
+1. Compile with --use_fast_math if precision requirements allow.
+2. Replace double-precision math calls with single-precision variants (sinf, expf, __expf).`
+}
+func (FastMath) Match(ctx *Context) *Match {
+	// Positional matching: ALL stall samples observed at instructions
+	// inside math-library code count — the whole routine disappears
+	// when the fast variant replaces it.
+	m := &Match{Applicable: true}
+	for name, fc := range ctx.Funcs {
+		for i, st := range fc.Stats {
+			if !fc.FS.InMathFunction(i) {
+				continue
+			}
+			// Scheduler competition (not_selected) persists after the
+			// routine shrinks; everything else at math PCs goes away.
+			var stalls, lat float64
+			for r := gpusim.StallReason(1); r < gpusim.NumReasons; r++ {
+				if r == gpusim.ReasonNotSelected {
+					continue
+				}
+				stalls += float64(st.Stalls[r])
+				lat += float64(st.LatencyStalls[r])
+			}
+			if stalls == 0 {
+				continue
+			}
+			m.Matched += stalls
+			m.MatchedLatency += lat
+			m.Hotspots = append(m.Hotspots, Hotspot{
+				FuncName: name, Def: i, Use: -1,
+				Stalls: stalls, Detail: "math_function",
+			})
+		}
+	}
+	finishHotspots(m)
+	return m
+}
+
+// WarpBalance matches warp synchronization stalls.
+type WarpBalance struct{}
+
+func (WarpBalance) Name() string     { return "GPUWarpBalanceOptimizer" }
+func (WarpBalance) Category() string { return CatStallElimination }
+func (WarpBalance) Suggestion() string {
+	return `Warps wait long at synchronization points because work is imbalanced.
+1. Distribute work evenly across warps before the barrier.
+2. Use warp-level primitives (__shfl_sync, __reduce_sync) to avoid full-block barriers.
+3. Move barriers out of divergent or variable-trip-count code.`
+}
+func (WarpBalance) Match(ctx *Context) *Match {
+	return collectEdges(ctx, func(fc *FuncContext, e *blamer.Edge) bool {
+		return e.Detail == blamer.DetailSync
+	})
+}
+
+// MemoryTransactionReduction matches global memory throttling stalls.
+type MemoryTransactionReduction struct{}
+
+func (MemoryTransactionReduction) Name() string     { return "GPUMemoryTransactionReductionOptimizer" }
+func (MemoryTransactionReduction) Category() string { return CatStallElimination }
+func (MemoryTransactionReduction) Suggestion() string {
+	return `The memory queue is saturated: each request splits into too many transactions.
+1. Coalesce accesses: have consecutive threads touch consecutive addresses.
+2. Replace repeated global reads shared across threads with constant or shared memory.
+3. Use vectorized (64/128-bit) accesses to cut transaction counts.`
+}
+func (MemoryTransactionReduction) Match(ctx *Context) *Match {
+	return collectSelf(ctx, gpusim.ReasonMemoryThrottle)
+}
+
+// LoopUnrolling matches global memory and execution dependency latency
+// samples whose def and use sit in the same loop; unrolling gives the
+// scheduler independent work to hide those latencies, bounded per loop
+// by the loop's own active samples (Equation 5).
+type LoopUnrolling struct{}
+
+func (LoopUnrolling) Name() string     { return "GPULoopUnrollOptimizer" }
+func (LoopUnrolling) Category() string { return CatLatencyHiding }
+func (LoopUnrolling) Suggestion() string {
+	return `Dependent instruction pairs inside loops leave latency unhidden.
+1. Annotate the loop with #pragma unroll (pick an explicit factor if the compiler declines).
+2. Unroll manually when trip counts are data dependent, processing several elements per iteration.`
+}
+func (LoopUnrolling) Match(ctx *Context) *Match {
+	return collectScopedEdges(ctx, func(fc *FuncContext, e *blamer.Edge) bool {
+		if e.Reason != gpusim.ReasonMemoryDependency && e.Reason != gpusim.ReasonExecutionDependency {
+			return false
+		}
+		if e.Detail == blamer.DetailLocalMem || e.Detail == blamer.DetailConstMem {
+			return false
+		}
+		// Unrolling only helps dependencies carried within one loop.
+		return fc.FS.CFG.SameLoop(e.Def, e.Use)
+	})
+}
+
+// collectScopedEdges is collectEdges plus Equation 5 scope analysis:
+// each matched edge's latency stalls accrue to the innermost loop
+// containing its use (falling back to the def's loop, then to a
+// function-wide scope), and each scope records the active samples
+// available inside it.
+func collectScopedEdges(ctx *Context, keep func(fc *FuncContext, e *blamer.Edge) bool) *Match {
+	m := &Match{Applicable: true}
+	type scopeKey struct {
+		fn   string
+		head int // loop head block, or -1 for the function scope
+	}
+	scopes := map[scopeKey]*Scope{}
+	for name, fc := range ctx.Funcs {
+		for _, e := range fc.Blame.SurvivingEdges() {
+			if !keep(fc, e) {
+				continue
+			}
+			l := fc.FS.CFG.InnermostLoop(e.Use)
+			if l == nil {
+				l = fc.FS.CFG.InnermostLoop(e.Def)
+			}
+			key := scopeKey{name, -1}
+			if l != nil {
+				key.head = l.Head
+			}
+			sc := scopes[key]
+			if sc == nil {
+				sc = &Scope{}
+				if l != nil {
+					sc.Label = fmt.Sprintf("%s loop at line %d", name, l.HeadLine.Line)
+					sc.Actives = activeSamplesInLoop(fc, l)
+				} else {
+					sc.Label = fmt.Sprintf("%s function scope", name)
+					for _, st := range fc.Stats {
+						sc.Actives += st.Active
+					}
+				}
+				scopes[key] = sc
+			}
+			sc.MatchedLatency += e.LatencyStalls
+			m.Matched += e.Stalls
+			m.MatchedLatency += e.LatencyStalls
+			m.Hotspots = append(m.Hotspots, Hotspot{
+				FuncName: name, Def: e.Def, Use: e.Use,
+				Stalls: e.Stalls, Distance: e.PathLen, Detail: e.Detail.String(),
+			})
+		}
+	}
+	keys := make([]scopeKey, 0, len(scopes))
+	for k := range scopes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].fn != keys[j].fn {
+			return keys[i].fn < keys[j].fn
+		}
+		return keys[i].head < keys[j].head
+	})
+	for _, k := range keys {
+		m.Scopes = append(m.Scopes, *scopes[k])
+	}
+	finishHotspots(m)
+	return m
+}
+
+// CodeReordering matches global memory and execution dependency stalls
+// with short def-use distances: separating defs from uses hides latency.
+type CodeReordering struct{}
+
+func (CodeReordering) Name() string     { return "GPUCodeReorderOptimizer" }
+func (CodeReordering) Category() string { return CatLatencyHiding }
+func (CodeReordering) Suggestion() string {
+	return `Loads sit too close to their first use.
+1. Read subscripted or pointer-chased values well before they are consumed (e.g. fetch the next iteration's data before a synchronization).
+2. Interleave independent computation between a load and its use.`
+}
+func (CodeReordering) Match(ctx *Context) *Match {
+	// Reordering only rearranges code within its scope, so Equation 5
+	// bounds each loop's gain by the loop's own active samples.
+	return collectScopedEdges(ctx, func(fc *FuncContext, e *blamer.Edge) bool {
+		if e.Reason != gpusim.ReasonMemoryDependency && e.Reason != gpusim.ReasonExecutionDependency {
+			return false
+		}
+		return e.Detail == blamer.DetailGlobalMem || e.Detail == blamer.DetailArith ||
+			e.Detail == blamer.DetailShared
+	})
+}
+
+// FunctionInlining matches stalls inside device functions and at their
+// call sites: call overhead and lost scheduling freedom.
+type FunctionInlining struct{}
+
+func (FunctionInlining) Name() string     { return "GPUFunctionInlineOptimizer" }
+func (FunctionInlining) Category() string { return CatLatencyHiding }
+func (FunctionInlining) Suggestion() string {
+	return `Device function calls block instruction scheduling across the call boundary.
+1. Mark small hot functions __forceinline__ (size and register limits can defeat always_inline; inline manually then).
+2. Integrate tiny helper bodies into their callers.`
+}
+func (FunctionInlining) Match(ctx *Context) *Match {
+	m := &Match{Applicable: true}
+	for name, fc := range ctx.Funcs {
+		isDevice := fc.FS.Fn.Visibility == sass.VisDevice
+		for i, st := range fc.Stats {
+			in := &fc.FS.Fn.Instrs[i]
+			atCall := in.Opcode == sass.OpCAL || in.Opcode == sass.OpRET
+			if !isDevice && !atCall {
+				continue
+			}
+			// Pipe pressure and scheduler competition survive inlining;
+			// only dependency/fetch/other stalls at the boundary go away.
+			var stalls, lat float64
+			for r := gpusim.StallReason(1); r < gpusim.NumReasons; r++ {
+				if r == gpusim.ReasonNotSelected || r == gpusim.ReasonPipeBusy {
+					continue
+				}
+				stalls += float64(st.Stalls[r])
+				lat += float64(st.LatencyStalls[r])
+			}
+			if stalls == 0 {
+				continue
+			}
+			m.Matched += stalls
+			m.MatchedLatency += lat
+			m.Hotspots = append(m.Hotspots, Hotspot{
+				FuncName: name, Def: i, Use: -1,
+				Stalls: stalls, Detail: "device_function",
+			})
+		}
+	}
+	finishHotspots(m)
+	return m
+}
+
+// BlockIncrease matches kernels that launch fewer blocks than the GPU
+// has SMs: most of the chip idles.
+type BlockIncrease struct{}
+
+func (BlockIncrease) Name() string     { return "GPUBlockIncreaseOptimizer" }
+func (BlockIncrease) Category() string { return CatParallel }
+func (BlockIncrease) Suggestion() string {
+	return `The launch uses fewer blocks than the GPU has SMs, leaving SMs idle.
+1. Reduce the number of threads per block while increasing the number of blocks.
+2. Split per-block work so the grid covers every SM.`
+}
+func (BlockIncrease) Match(ctx *Context) *Match {
+	if ctx.Profile.Blocks >= ctx.GPU.NumSMs {
+		return &Match{Applicable: false}
+	}
+	// The whole kernel is affected.
+	return &Match{Applicable: true, Matched: float64(ctx.T), MatchedLatency: float64(ctx.L)}
+}
+
+// blockIncreaseWNew: doubling the block count spreads the same threads
+// over twice as many SMs, halving each scheduler's resident warps
+// (CW = 1/2); Equation 10's 1/CW term then credits the extra SMs.
+func blockIncreaseWNew(ctx *Context) float64 {
+	blocks := ctx.Profile.Blocks
+	newBlocks := blocks * 2
+	if newBlocks > ctx.GPU.NumSMs {
+		newBlocks = ctx.GPU.NumSMs
+	}
+	if newBlocks <= blocks {
+		return float64(ctx.Profile.WarpsPerScheduler)
+	}
+	return float64(ctx.Profile.WarpsPerScheduler) * float64(blocks) / float64(newBlocks)
+}
+
+// blockIncreaseF implements the optimizer-specific factor f of Equation
+// 10 (Section 5.2.2): with fewer resident warps per scheduler, the
+// pipeline, memory-throttle, and selection stalls largely disappear, so
+// f credits their removal — capped so the total never exceeds the SM
+// scaling 1/CW.
+func blockIncreaseF(ctx *Context, w, wNew float64) float64 {
+	t := float64(ctx.T)
+	if t <= 0 {
+		return 1
+	}
+	removable := float64(ctx.Stalls[gpusim.ReasonPipeBusy] +
+		ctx.Stalls[gpusim.ReasonMemoryThrottle] +
+		ctx.Stalls[gpusim.ReasonNotSelected])
+	if removable >= t {
+		removable = t - 1
+	}
+	f := t / (t - removable)
+	// Cap: Sp = (1/CW)*CI*f must not exceed 1/CW, i.e. f <= 1/CI.
+	ri := clamp01(ctx.Profile.IssueRatio)
+	i := 1 - math.Pow(1-ri, w)
+	iNew := 1 - math.Pow(1-ri, wNew)
+	if i > 0 && iNew > 0 {
+		if maxF := i / iNew; f > maxF {
+			f = maxF
+		}
+	}
+	return f
+}
+
+// ThreadIncrease matches kernels whose occupancy is limited by the
+// number of threads per block.
+type ThreadIncrease struct{}
+
+func (ThreadIncrease) Name() string     { return "GPUThreadIncreaseOptimizer" }
+func (ThreadIncrease) Category() string { return CatParallel }
+func (ThreadIncrease) Suggestion() string {
+	return `Occupancy is limited by the threads-per-block count: each SM hosts too few warps to hide latency.
+1. Increase the block size (threads per block).
+2. Keep register and shared-memory use per block low enough to stay at full occupancy.`
+}
+func (ThreadIncrease) Match(ctx *Context) *Match {
+	if ctx.Profile.OccupancyLimiter != "blocks" && ctx.Profile.OccupancyLimiter != "threads" {
+		return &Match{Applicable: false}
+	}
+	maxW := ctx.GPU.MaxWarpsPerSM / ctx.GPU.SchedulersPerSM
+	if ctx.Profile.WarpsPerScheduler >= maxW {
+		return &Match{Applicable: false}
+	}
+	return &Match{Applicable: true, Matched: float64(ctx.T), MatchedLatency: float64(ctx.L)}
+}
+
+// threadIncreaseWNew: growing the block toward the occupancy limit
+// raises resident warps per scheduler to the architectural maximum
+// reachable by block-size tuning (4x at most per step).
+func threadIncreaseWNew(ctx *Context) float64 {
+	w := float64(ctx.Profile.WarpsPerScheduler)
+	maxW := float64(ctx.GPU.MaxWarpsPerSM / ctx.GPU.SchedulersPerSM)
+	wNew := w * 4
+	if wNew > maxW {
+		wNew = maxW
+	}
+	if wNew < w {
+		wNew = w
+	}
+	return wNew
+}
+
+// threadIncreaseF compensates Equation 10's 1/CW term for thread
+// increase: total work is conserved and the grid shrinks as blocks grow,
+// so block waves fold entirely into the issue-rate change and the
+// speedup is CI alone (f = CW).
+func threadIncreaseF(ctx *Context, w, wNew float64) float64 {
+	return wNew / w
+}

@@ -1,0 +1,139 @@
+package advisor
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// HotspotReport is one rendered hotspot of an advice entry.
+type HotspotReport struct {
+	Detail   string  `json:"detail"`
+	Ratio    float64 `json:"ratio"`   // hotspot stalls / T
+	Speedup  float64 `json:"speedup"` // Equation 2 applied to this hotspot alone
+	Distance int     `json:"distance,omitempty"`
+	From     string  `json:"from"`
+	To       string  `json:"to,omitempty"`
+}
+
+// AdviceEntry is one optimizer's ranked advice.
+type AdviceEntry struct {
+	Optimizer  string          `json:"optimizer"`
+	Category   string          `json:"category"`
+	Ratio      float64         `json:"ratio"` // M / T
+	Speedup    float64         `json:"estimatedSpeedup"`
+	Suggestion string          `json:"suggestion"`
+	Hotspots   []HotspotReport `json:"hotspots,omitempty"`
+}
+
+// Advice is the full report for one kernel.
+type Advice struct {
+	Kernel  string        `json:"kernel"`
+	Entries []AdviceEntry `json:"entries"`
+}
+
+// Advise runs optimizers over the context and ranks their advice by
+// estimated speedup. With no explicit optimizers the Table 2 default
+// set runs; custom optimizers can be appended (the paper: "Users can
+// add custom optimizers to match other inefficiency patterns").
+func Advise(ctx *Context, optimizers ...RankedOptimizer) *Advice {
+	if len(optimizers) == 0 {
+		optimizers = DefaultOptimizers()
+	}
+	adv := &Advice{Kernel: ctx.Profile.Kernel}
+	for _, ro := range optimizers {
+		m := ro.Optimizer.Match(ctx)
+		if m == nil || !m.Applicable {
+			continue
+		}
+		speedup := ro.Estimator.Estimate(ctx, m)
+		entry := AdviceEntry{
+			Optimizer:  ro.Optimizer.Name(),
+			Category:   ro.Optimizer.Category(),
+			Ratio:      ratio(m.Matched, ctx.T),
+			Speedup:    speedup,
+			Suggestion: ro.Optimizer.Suggestion(),
+		}
+		for _, h := range m.Hotspots {
+			fc := ctx.Funcs[h.FuncName]
+			hr := HotspotReport{
+				Detail:   h.Detail,
+				Ratio:    ratio(h.Stalls, ctx.T),
+				Speedup:  StallElimination{}.Estimate(ctx, &Match{Matched: h.Stalls, Applicable: true}),
+				Distance: h.Distance,
+				From:     hotspotLocation(fc, h.Def),
+			}
+			if h.Use >= 0 {
+				hr.To = hotspotLocation(fc, h.Use)
+			}
+			entry.Hotspots = append(entry.Hotspots, hr)
+		}
+		adv.Entries = append(adv.Entries, entry)
+	}
+	sort.SliceStable(adv.Entries, func(i, j int) bool {
+		if adv.Entries[i].Speedup != adv.Entries[j].Speedup {
+			return adv.Entries[i].Speedup > adv.Entries[j].Speedup
+		}
+		return adv.Entries[i].Ratio > adv.Entries[j].Ratio
+	})
+	return adv
+}
+
+func ratio(part float64, total int64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return part / float64(total)
+}
+
+func hotspotLocation(fc *FuncContext, instr int) string {
+	if fc == nil {
+		return "<unknown>"
+	}
+	return fc.FS.SourceContext(instr) + "\n      " + fc.FS.Location(instr)
+}
+
+// Top returns the first n entries (fewer if the report is shorter).
+func (a *Advice) Top(n int) []AdviceEntry {
+	if n > len(a.Entries) {
+		n = len(a.Entries)
+	}
+	return a.Entries[:n]
+}
+
+// Render writes the report in the paper's Figure 8 style.
+func (a *Advice) Render(w io.Writer) {
+	fmt.Fprintf(w, "GPA performance report for kernel %s\n", a.Kernel)
+	fmt.Fprintf(w, "%s\n", strings.Repeat("=", 60))
+	if len(a.Entries) == 0 {
+		fmt.Fprintln(w, "No optimization opportunities matched.")
+		return
+	}
+	for _, e := range a.Entries {
+		fmt.Fprintf(w, "\nApply %s optimization, ratio %.3f%%, estimate speedup %.3fx\n",
+			e.Optimizer, e.Ratio*100, e.Speedup)
+		for _, line := range strings.Split(e.Suggestion, "\n") {
+			fmt.Fprintf(w, "  %s\n", line)
+		}
+		for i, h := range e.Hotspots {
+			fmt.Fprintf(w, "\n  %d. Hot BLAME GINS:LAT_%s code, ratio %.3f%%, speedup %.3fx",
+				i+1, strings.ToUpper(h.Detail), h.Ratio*100, h.Speedup)
+			if h.Distance > 0 {
+				fmt.Fprintf(w, ", distance %d", h.Distance)
+			}
+			fmt.Fprintln(w)
+			fmt.Fprintf(w, "    From %s\n", h.From)
+			if h.To != "" {
+				fmt.Fprintf(w, "    To %s\n", h.To)
+			}
+		}
+	}
+}
+
+// String renders to a string.
+func (a *Advice) String() string {
+	var sb strings.Builder
+	a.Render(&sb)
+	return sb.String()
+}

@@ -1,0 +1,71 @@
+package advisor
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestAdviceJSONRoundTrip(t *testing.T) {
+	ctx := memLoopCtx(t)
+	adv := Advise(ctx)
+	data, err := json.MarshalIndent(adv, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got Advice
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got.Kernel != adv.Kernel || len(got.Entries) != len(adv.Entries) {
+		t.Fatalf("round trip lost entries: %d vs %d", len(got.Entries), len(adv.Entries))
+	}
+	for i := range got.Entries {
+		if got.Entries[i].Optimizer != adv.Entries[i].Optimizer {
+			t.Errorf("entry %d optimizer %q vs %q", i, got.Entries[i].Optimizer, adv.Entries[i].Optimizer)
+		}
+		if got.Entries[i].Speedup != adv.Entries[i].Speedup {
+			t.Errorf("entry %d speedup drifted", i)
+		}
+	}
+}
+
+func TestRenderEmptyAdvice(t *testing.T) {
+	a := &Advice{Kernel: "k"}
+	out := a.String()
+	if !strings.Contains(out, "No optimization opportunities matched") {
+		t.Errorf("empty advice rendering: %q", out)
+	}
+}
+
+func TestAdviceDeterministic(t *testing.T) {
+	ctx := memLoopCtx(t)
+	a := Advise(ctx).String()
+	b := Advise(ctx).String()
+	if a != b {
+		t.Error("Advise is not deterministic for a fixed context")
+	}
+}
+
+func TestHotspotDistanceRendered(t *testing.T) {
+	ctx := memLoopCtx(t)
+	adv := Advise(ctx)
+	out := adv.String()
+	// At least one hotspot must render with a def->use distance, the
+	// quantity the paper's Figure 8 shows per hotspot.
+	if !strings.Contains(out, ", distance ") {
+		t.Errorf("no hotspot distance in report:\n%s", out)
+	}
+	// Hotspot ratios are percentages of T; the top entry's ratio must
+	// be <= 100%.
+	for _, e := range adv.Entries {
+		if e.Ratio < 0 || e.Ratio > 1.0001 {
+			t.Errorf("entry %s ratio %v out of range", e.Optimizer, e.Ratio)
+		}
+		for _, h := range e.Hotspots {
+			if h.Ratio < 0 || h.Ratio > e.Ratio+1e-9 {
+				t.Errorf("hotspot ratio %v exceeds entry ratio %v (%s)", h.Ratio, e.Ratio, e.Optimizer)
+			}
+		}
+	}
+}

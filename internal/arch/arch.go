@@ -1,0 +1,220 @@
+// Package arch captures GPU architectural features: per-opcode
+// instruction latencies (the fixed-latency values microbenchmarking
+// studies report, and upper bounds for variable-latency instructions
+// used by GPA's latency-based pruning rule), warp and scheduler geometry,
+// and occupancy limits. The GPA static analyzer selects one of these
+// tables from the architecture flag recorded in a CUBIN.
+package arch
+
+import (
+	"fmt"
+
+	"gpa/internal/sass"
+)
+
+// GPU describes one GPU model.
+type GPU struct {
+	Name string
+	// SM is the architecture flag (70 = Volta).
+	SM int
+	// NumSMs is the number of streaming multiprocessors.
+	NumSMs int
+	// SchedulersPerSM is the number of warp schedulers per SM (4 on
+	// Volta).
+	SchedulersPerSM int
+	WarpSize        int
+	// MaxWarpsPerSM bounds resident warps (64 on Volta).
+	MaxWarpsPerSM int
+	// MaxThreadsPerBlock is the launch limit (1024).
+	MaxThreadsPerBlock int
+	// MaxBlocksPerSM bounds resident blocks (32 on Volta).
+	MaxBlocksPerSM int
+	// RegistersPerSM is the register file size in 32-bit registers.
+	RegistersPerSM int
+	// SharedMemPerSM is shared memory per SM in bytes.
+	SharedMemPerSM int
+	// MSHRsPerSM bounds outstanding global memory transactions per SM;
+	// when exhausted, further memory instructions stall with a memory
+	// throttle reason.
+	MSHRsPerSM int
+	// ICacheInstrs is the per-SM instruction cache capacity in
+	// instructions; jumps outside the cached window incur instruction
+	// fetch stalls.
+	ICacheInstrs int
+
+	// Memory latencies in cycles.
+	GlobalLatency      int // L2 hit-ish steady state
+	GlobalLatencyTLB   int // TLB-miss upper bound (pruning bound)
+	SharedLatency      int
+	ConstLatency       int // constant cache hit
+	ConstMissLatency   int
+	LocalLatency       int // local = global space
+	AtomicLatency      int
+	IFetchMissLatency  int
+	BarrierCheckCycles int // re-check interval at BAR.SYNC
+}
+
+// VoltaV100 returns the V100 (SM 70) model used throughout the paper's
+// evaluation.
+func VoltaV100() *GPU {
+	return &GPU{
+		Name:               "Tesla V100-SXM2",
+		SM:                 70,
+		NumSMs:             80,
+		SchedulersPerSM:    4,
+		WarpSize:           32,
+		MaxWarpsPerSM:      64,
+		MaxThreadsPerBlock: 1024,
+		MaxBlocksPerSM:     32,
+		RegistersPerSM:     65536,
+		SharedMemPerSM:     96 * 1024,
+		MSHRsPerSM:         64,
+		ICacheInstrs:       768, // 12 KiB of 128-bit words
+		GlobalLatency:      420,
+		GlobalLatencyTLB:   1100,
+		SharedLatency:      24,
+		ConstLatency:       8,
+		ConstMissLatency:   120,
+		LocalLatency:       84,
+		AtomicLatency:      480,
+		IFetchMissLatency:  32,
+		BarrierCheckCycles: 4,
+	}
+}
+
+// ByArchFlag resolves an architecture flag from a CUBIN to a GPU model.
+func ByArchFlag(sm int) (*GPU, error) {
+	switch sm {
+	case 70, 72:
+		return VoltaV100(), nil
+	}
+	return nil, fmt.Errorf("arch: unsupported architecture sm_%d", sm)
+}
+
+// FixedLatency returns the result latency in cycles of a fixed-latency
+// instruction: the number of cycles before a dependent instruction may
+// issue. Values follow published Volta microbenchmarking (Jia et al.).
+func (g *GPU) FixedLatency(op sass.Opcode, mods sass.ModMask) int {
+	switch op.Info().Class {
+	case sass.ClassIntFixed:
+		if op == sass.OpIMAD && mods.Has(sass.ModWide) {
+			return 5
+		}
+		return 4
+	case sass.ClassFP32Fixed:
+		return 4
+	case sass.ClassFP64:
+		return 8
+	case sass.ClassConvert:
+		// Conversions run on the FP64/XU path on Volta: long latency.
+		return 14
+	case sass.ClassMisc:
+		return 4
+	case sass.ClassControl:
+		return 2
+	}
+	// Variable-latency classes have no fixed latency; callers should
+	// use VariableLatencyBound for pruning.
+	return 0
+}
+
+// VariableLatencyBound returns the upper-bound latency for a
+// variable-latency instruction, used by the latency-based pruning rule
+// ("we use the TLB miss latency as the upper bound latency of global
+// memory instructions").
+func (g *GPU) VariableLatencyBound(op sass.Opcode) int {
+	switch op.Info().Class {
+	case sass.ClassMemGlobal, sass.ClassMemGeneric:
+		return g.GlobalLatencyTLB
+	case sass.ClassMemLocal:
+		return g.GlobalLatencyTLB
+	case sass.ClassMemShared:
+		return g.SharedLatency * 3
+	case sass.ClassMemConst:
+		return g.ConstMissLatency
+	case sass.ClassMUFU:
+		return 64
+	}
+	if op == sass.OpS2R {
+		return 32
+	}
+	return 0
+}
+
+// LatencyBound returns the pruning bound for any opcode: the fixed
+// latency for fixed-latency instructions, the upper bound otherwise.
+func (g *GPU) LatencyBound(op sass.Opcode, mods sass.ModMask) int {
+	if op.Info().VariableLatency {
+		return g.VariableLatencyBound(op)
+	}
+	return g.FixedLatency(op, mods)
+}
+
+// IssueCost returns the scheduler dispatch occupancy in cycles for one
+// instruction: how long the issuing pipe is busy before another
+// instruction of the same class can issue from this scheduler. It models
+// throughput, not latency (e.g. FP64 on V100 runs at half rate, MUFU at
+// quarter rate).
+func (g *GPU) IssueCost(op sass.Opcode) int {
+	switch op.Info().Class {
+	case sass.ClassFP64:
+		return 2
+	case sass.ClassMUFU:
+		return 4
+	case sass.ClassConvert:
+		return 2
+	case sass.ClassMemGlobal, sass.ClassMemLocal, sass.ClassMemGeneric:
+		return 2
+	case sass.ClassMemShared, sass.ClassMemConst:
+		return 1
+	}
+	return 1
+}
+
+// Occupancy describes the resident-warp situation of a kernel launch on
+// one SM.
+type Occupancy struct {
+	BlocksPerSM       int
+	WarpsPerSM        int
+	WarpsPerScheduler int
+	// Limiter names the resource that bounds occupancy: "blocks",
+	// "threads", "registers", or "shared".
+	Limiter string
+}
+
+// ComputeOccupancy calculates resident blocks and warps per SM for a
+// launch of blockThreads threads per block using regsPerThread registers
+// and sharedPerBlock bytes of shared memory.
+func (g *GPU) ComputeOccupancy(blockThreads, regsPerThread, sharedPerBlock int) (Occupancy, error) {
+	if blockThreads <= 0 || blockThreads > g.MaxThreadsPerBlock {
+		return Occupancy{}, fmt.Errorf("arch: block size %d out of range (1-%d)",
+			blockThreads, g.MaxThreadsPerBlock)
+	}
+	warpsPerBlock := (blockThreads + g.WarpSize - 1) / g.WarpSize
+	limit := g.MaxBlocksPerSM
+	limiter := "blocks"
+	if byWarps := g.MaxWarpsPerSM / warpsPerBlock; byWarps < limit {
+		limit, limiter = byWarps, "threads"
+	}
+	if regsPerThread > 0 {
+		regsPerBlock := regsPerThread * warpsPerBlock * g.WarpSize
+		if byRegs := g.RegistersPerSM / regsPerBlock; byRegs < limit {
+			limit, limiter = byRegs, "registers"
+		}
+	}
+	if sharedPerBlock > 0 {
+		if byShared := g.SharedMemPerSM / sharedPerBlock; byShared < limit {
+			limit, limiter = byShared, "shared"
+		}
+	}
+	if limit == 0 {
+		return Occupancy{}, fmt.Errorf("arch: kernel cannot fit a single block per SM")
+	}
+	warps := limit * warpsPerBlock
+	return Occupancy{
+		BlocksPerSM:       limit,
+		WarpsPerSM:        warps,
+		WarpsPerScheduler: (warps + g.SchedulersPerSM - 1) / g.SchedulersPerSM,
+		Limiter:           limiter,
+	}, nil
+}

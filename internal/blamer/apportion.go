@@ -1,0 +1,58 @@
+package blamer
+
+// apportion distributes the stalls (and latency stalls) observed at one
+// use over its surviving incoming edges using Equation 1 of the paper:
+//
+//	S_i = (Rpath_i × Rissue_i) / Σ_k (Rpath_k × Rissue_k) × S_j
+//
+// where Rissue_i grows with the def's issued count (heuristic 1: the
+// more issued samples, the more stalls blamed) and Rpath_i shrinks with
+// the path length (heuristic 2: the longer the path, the fewer stalls
+// blamed; with multiple paths the longest is used). The normalization
+// denominators cancel, so the raw weight issued/pathLen suffices and
+// reproduces Figure 4d: LDG (issue 1, path 5) and LDC (issue 2, path 10)
+// split four stalls 2/2.
+func apportion(edges []*Edge, stalls, latencyStalls int64, opts Options) {
+	var kept []*Edge
+	for _, e := range edges {
+		if e.prunedBy == "" {
+			kept = append(kept, e)
+		}
+	}
+	if len(kept) == 0 || stalls == 0 && latencyStalls == 0 {
+		return
+	}
+	weights := make([]float64, len(kept))
+	var total float64
+	for i, e := range kept {
+		w := 1.0
+		if !opts.DisableIssueWeight {
+			issued := float64(e.Issued)
+			if issued <= 0 {
+				issued = 1
+			}
+			w *= issued
+		}
+		if !opts.DisablePathWeight {
+			path := float64(e.PathLen)
+			if path <= 0 {
+				path = 1
+			}
+			w /= path
+		}
+		weights[i] = w
+		total += w
+	}
+	if total <= 0 {
+		// Degenerate: split evenly.
+		for i := range weights {
+			weights[i] = 1
+		}
+		total = float64(len(weights))
+	}
+	for i, e := range kept {
+		share := weights[i] / total
+		e.Stalls = share * float64(stalls)
+		e.LatencyStalls = share * float64(latencyStalls)
+	}
+}

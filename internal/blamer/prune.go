@@ -1,0 +1,100 @@
+package blamer
+
+import (
+	"gpa/internal/gpusim"
+	"gpa/internal/sass"
+)
+
+// Pruning rule names recorded on pruned edges.
+const (
+	PruneOpcode    = "opcode"
+	PruneDominator = "dominator"
+	PruneLatency   = "latency"
+)
+
+// prune applies the three cold-edge rules of Section 4 in order; the
+// first rule that fires marks the edge.
+func (b *blamer) prune(e *Edge) {
+	if !b.opts.DisableOpcodePrune && b.opcodePrunes(e) {
+		e.prunedBy = PruneOpcode
+		return
+	}
+	if !b.opts.DisableDominatorPrune && b.dominatorPrunes(e) {
+		e.prunedBy = PruneDominator
+		return
+	}
+	if !b.opts.DisableLatencyPrune && b.latencyPrunes(e) {
+		e.prunedBy = PruneLatency
+		return
+	}
+}
+
+// opcodePrunes: memory dependency stalls are attributed to memory
+// instructions only; synchronization stalls to synchronization
+// instructions only.
+func (b *blamer) opcodePrunes(e *Edge) bool {
+	def := &b.fs.Fn.Instrs[e.Def]
+	switch e.Reason {
+	case gpusim.ReasonMemoryDependency:
+		return !def.Opcode.IsMemory()
+	case gpusim.ReasonSync:
+		return !def.Opcode.IsSync()
+	}
+	return false
+}
+
+// dominatorPrunes: remove the edge i->j when a non-predicated
+// instruction k (other than the endpoints) uses the same register that i
+// defines and j uses, and k lies on every path from i to j: had i caused
+// stalls, they would have been observed at k instead.
+func (b *blamer) dominatorPrunes(e *Edge) bool {
+	if e.Reg == (sass.Reg{}) {
+		return false
+	}
+	g := b.fs.CFG
+	for k := range b.fs.Fn.Instrs {
+		if k == e.Def || k == e.Use {
+			continue
+		}
+		in := &b.fs.Fn.Instrs[k]
+		if !in.Pred.IsAlways() {
+			continue
+		}
+		if !uses(in, e.Reg) {
+			continue
+		}
+		if g.OnEveryPath(e.Def, k, e.Use) {
+			return true
+		}
+	}
+	return false
+}
+
+func uses(in *sass.Instruction, r sass.Reg) bool {
+	for _, u := range in.Uses() {
+		if u == r {
+			return true
+		}
+	}
+	return false
+}
+
+// latencyPrunes: remove the edge when the number of instructions on
+// every path from def to use exceeds the def's latency bound — by then
+// the result must have landed. Fixed-latency instructions use their
+// microbenchmarked latency; variable-latency instructions use an upper
+// bound (TLB-miss latency for global memory).
+func (b *blamer) latencyPrunes(e *Edge) bool {
+	def := &b.fs.Fn.Instrs[e.Def]
+	bound := b.gpu.LatencyBound(def.Opcode, def.Mods)
+	if bound <= 0 {
+		return false
+	}
+	shortest := b.fs.CFG.ShortestDist(e.Def, e.Use)
+	if shortest < 0 {
+		return false
+	}
+	// Issue slots approximate cycles one-to-one at best; if even the
+	// shortest path exceeds the bound, every path does.
+	return shortest > bound
+}

@@ -1,0 +1,249 @@
+package cfg
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gpa/internal/sass"
+)
+
+// randomFunction generates a structured random kernel: a sequence of
+// straight-line segments, diamonds, and loops, always ending in EXIT.
+func randomFunction(r *rand.Rand) string {
+	var sb strings.Builder
+	sb.WriteString(".func rnd global\n")
+	label := 0
+	newLabel := func() string {
+		label++
+		return fmt.Sprintf("L%d", label)
+	}
+	segments := 1 + r.Intn(5)
+	for s := 0; s < segments; s++ {
+		switch r.Intn(3) {
+		case 0: // straight line
+			for i, n := 0, 1+r.Intn(4); i < n; i++ {
+				fmt.Fprintf(&sb, "\tIADD R%d, R%d, 0x1 {S:4}\n", r.Intn(8), r.Intn(8))
+			}
+		case 1: // diamond
+			el, join := newLabel(), newLabel()
+			fmt.Fprintf(&sb, "\tISETP P0, R%d, 0x0 {S:4}\n", r.Intn(8))
+			fmt.Fprintf(&sb, "\t@P0 BRA %s {S:5}\n", el)
+			fmt.Fprintf(&sb, "\tIADD R1, R1, 0x1 {S:4}\n")
+			fmt.Fprintf(&sb, "\tBRA %s {S:5}\n", join)
+			fmt.Fprintf(&sb, "%s:\n\tIADD R1, R1, 0x2 {S:4}\n", el)
+			fmt.Fprintf(&sb, "%s:\n\tIADD R2, R1, 0x3 {S:4}\n", join)
+		default: // loop
+			head := newLabel()
+			fmt.Fprintf(&sb, "%s:\n", head)
+			for i, n := 0, 1+r.Intn(3); i < n; i++ {
+				fmt.Fprintf(&sb, "\tFFMA R%d, R%d, R4, R5 {S:2}\n", r.Intn(8), r.Intn(8))
+			}
+			fmt.Fprintf(&sb, "\tISETP P1, R0, 0x10 {S:4}\n")
+			fmt.Fprintf(&sb, "\t@P1 BRA %s {S:5}\n", head)
+		}
+	}
+	sb.WriteString("\tEXIT\n")
+	return sb.String()
+}
+
+func buildRandom(t testing.TB, r *rand.Rand) *Graph {
+	src := randomFunction(r)
+	mod, err := sass.Assemble(src)
+	if err != nil {
+		t.Fatalf("random function does not assemble:\n%s\n%v", src, err)
+	}
+	g, err := Build(mod.Functions[0])
+	if err != nil {
+		t.Fatalf("Build: %v\n%s", err, src)
+	}
+	return g
+}
+
+// TestPropertyBlocksPartitionInstructions: every instruction belongs to
+// exactly one block, blocks are contiguous and ordered.
+func TestPropertyBlocksPartitionInstructions(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func() bool {
+		g := buildRandom(t, r)
+		covered := 0
+		for i, b := range g.Blocks {
+			if b.ID != i || b.Start != covered || b.End <= b.Start {
+				return false
+			}
+			covered = b.End
+			for j := b.Start; j < b.End; j++ {
+				if g.BlockOf(j) != b {
+					return false
+				}
+			}
+		}
+		return covered == g.NumInstrs()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyEdgesAreSymmetric: succ/pred lists agree.
+func TestPropertyEdgesAreSymmetric(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	f := func() bool {
+		g := buildRandom(t, r)
+		for _, b := range g.Blocks {
+			for _, s := range b.Succs {
+				if !containsInt(g.Blocks[s].Preds, b.ID) {
+					return false
+				}
+			}
+			for _, p := range b.Preds {
+				if !containsInt(g.Blocks[p].Succs, b.ID) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDominatorBasics: the entry dominates every reachable
+// block; every block dominates itself; idom is a strict dominator.
+func TestPropertyDominatorBasics(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	f := func() bool {
+		g := buildRandom(t, r)
+		for _, b := range g.Blocks {
+			if !g.Dominates(b.ID, b.ID) {
+				return false
+			}
+			reachable := b.ID == 0 || g.Idom(b.ID) != -1
+			if reachable && !g.Dominates(0, b.ID) {
+				return false
+			}
+			if id := g.Idom(b.ID); id != -1 {
+				if id == b.ID || !g.Dominates(id, b.ID) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyLoopsAreWellFormed: loop heads dominate their members;
+// nested loops are proper subsets of their parents.
+func TestPropertyLoopsAreWellFormed(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	f := func() bool {
+		g := buildRandom(t, r)
+		for _, l := range g.Loops() {
+			if !l.Blocks[l.Head] {
+				return false
+			}
+			for b := range l.Blocks {
+				if !g.Dominates(l.Head, b) {
+					return false
+				}
+			}
+			if l.Parent != nil {
+				if len(l.Blocks) >= len(l.Parent.Blocks) {
+					return false
+				}
+				for b := range l.Blocks {
+					if !l.Parent.Blocks[b] {
+						return false
+					}
+				}
+				if l.Depth != l.Parent.Depth+1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyShortestNotLongerThanLongest: for any reachable pair,
+// 0 < ShortestDist <= LongestDist.
+func TestPropertyShortestNotLongerThanLongest(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	f := func() bool {
+		g := buildRandom(t, r)
+		n := g.NumInstrs()
+		for trial := 0; trial < 10; trial++ {
+			i, j := r.Intn(n), r.Intn(n)
+			if i == j {
+				continue
+			}
+			short := g.ShortestDist(i, j)
+			long := g.LongestDist(i, j)
+			if short < 0 {
+				// Unreachable: the block-simple longest path must agree
+				// (it may also be -1; a cyclic reachable case cannot be
+				// unreachable for shortest).
+				if long > 0 {
+					return false
+				}
+				continue
+			}
+			if short == 0 || long < short {
+				// Longest is block-simple so it can be shorter than a
+				// cyclic shortest path only when the only route repeats
+				// a block; allow long == -1 in that case.
+				if long == -1 {
+					continue
+				}
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyOnEveryPathSanity: an instruction on every path must be
+// reachable from i and reach j.
+func TestPropertyOnEveryPathSanity(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	f := func() bool {
+		g := buildRandom(t, r)
+		n := g.NumInstrs()
+		for trial := 0; trial < 10; trial++ {
+			i, k, j := r.Intn(n), r.Intn(n), r.Intn(n)
+			if i == k || k == j || i == j {
+				continue
+			}
+			if g.OnEveryPath(i, k, j) {
+				if g.ShortestDist(i, k) < 0 || g.ShortestDist(k, j) < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

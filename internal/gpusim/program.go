@@ -1,0 +1,137 @@
+// Package gpusim simulates the execution of SASS kernels on a
+// Volta-style GPU at cycle granularity: streaming multiprocessors with
+// four warp schedulers each, scoreboard barriers for variable-latency
+// dependencies, per-opcode fixed latencies and pipe throughputs, an MSHR
+// pool that produces memory-throttle stalls, an instruction cache that
+// produces fetch stalls on far control transfers, and named-barrier
+// (BAR.SYNC) synchronization.
+//
+// This package substitutes for the V100 hardware in the GPA paper: it
+// executes the same fixed-length ISA and exposes the same PC-sampling
+// surface (periodic per-scheduler samples carrying a PC, an
+// active/latency flag, and a CUPTI-style stall reason), so everything
+// downstream — profiler, instruction blamer, optimizers, estimators —
+// exercises the code paths the paper describes.
+package gpusim
+
+import (
+	"fmt"
+
+	"gpa/internal/sass"
+)
+
+// Program is a module laid out in a flat instruction array, the way code
+// resides in device memory: functions concatenated in module order, call
+// and branch targets resolved to flat instruction indices.
+type Program struct {
+	Module *sass.Module
+	// Instrs is the flattened instruction stream.
+	Instrs []sass.Instruction
+	// FuncOf[i] is the index (into Module.Functions) of the function
+	// containing flat instruction i.
+	FuncOf []int
+	// Base[f] is the flat index of function f's first instruction.
+	Base []int
+	// target[i] is the flat target index of a control transfer at i
+	// (-1 when not a transfer or target unresolved).
+	target []int
+}
+
+// Load flattens a module. Call targets must name functions present in
+// the module.
+func Load(m *sass.Module) (*Program, error) {
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("gpusim: %w", err)
+	}
+	p := &Program{Module: m}
+	for fi, f := range m.Functions {
+		p.Base = append(p.Base, len(p.Instrs))
+		for i := range f.Instrs {
+			p.Instrs = append(p.Instrs, f.Instrs[i])
+			p.FuncOf = append(p.FuncOf, fi)
+		}
+	}
+	p.target = make([]int, len(p.Instrs))
+	for i := range p.Instrs {
+		p.target[i] = -1
+		in := &p.Instrs[i]
+		tgt, ok := in.BranchTarget()
+		if !ok {
+			continue
+		}
+		if in.Opcode == sass.OpCAL {
+			found := false
+			for fi, f := range m.Functions {
+				if f.Name == tgt.Sym {
+					p.target[i] = p.Base[fi]
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("gpusim: CAL to unknown function %q", tgt.Sym)
+			}
+			continue
+		}
+		fi := p.FuncOf[i]
+		local := int(tgt.PC) / sass.InstrBytes
+		f := m.Functions[fi]
+		if local < 0 || local >= len(f.Instrs) {
+			return nil, fmt.Errorf("gpusim: %s: branch target out of function", f.Name)
+		}
+		p.target[i] = p.Base[fi] + local
+	}
+	return p, nil
+}
+
+// EntryOf returns the flat index of the named function's first
+// instruction.
+func (p *Program) EntryOf(name string) (int, error) {
+	for fi, f := range p.Module.Functions {
+		if f.Name == name {
+			return p.Base[fi], nil
+		}
+	}
+	return 0, fmt.Errorf("gpusim: no function %q", name)
+}
+
+// Target returns the flat target index of the control transfer at flat
+// index i, or -1.
+func (p *Program) Target(i int) int { return p.target[i] }
+
+// FuncName returns the name of the function containing flat index i.
+func (p *Program) FuncName(i int) string {
+	return p.Module.Functions[p.FuncOf[i]].Name
+}
+
+// LocalIndex converts a flat index to an instruction index within its
+// function.
+func (p *Program) LocalIndex(i int) int { return i - p.Base[p.FuncOf[i]] }
+
+// LocalPC converts a flat index to a byte PC within its function.
+func (p *Program) LocalPC(i int) uint32 {
+	return uint32(p.LocalIndex(i) * sass.InstrBytes)
+}
+
+// FlatIndex converts (function name, label) to a flat instruction index
+// using the module's label table (available for freshly assembled
+// modules; label tables do not survive cubin packing).
+func (p *Program) FlatIndex(fn, label string) (int, error) {
+	for fi, f := range p.Module.Functions {
+		if f.Name != fn {
+			continue
+		}
+		idx, ok := f.Labels[label]
+		if !ok {
+			return 0, fmt.Errorf("gpusim: function %q has no label %q", fn, label)
+		}
+		return p.Base[fi] + idx, nil
+	}
+	return 0, fmt.Errorf("gpusim: no function %q", fn)
+}
+
+// LineAt returns the source mapping of flat index i.
+func (p *Program) LineAt(i int) sass.LineInfo {
+	fi := p.FuncOf[i]
+	return p.Module.Functions[fi].Lines[p.LocalIndex(i)]
+}

@@ -1,0 +1,160 @@
+package gpusim
+
+import (
+	"fmt"
+
+	"gpa/internal/arch"
+)
+
+// Dim3 is a CUDA-style launch dimension.
+type Dim3 struct{ X, Y, Z int }
+
+// Count returns the total element count (zero components count as one).
+func (d Dim3) Count() int {
+	c := 1
+	for _, v := range []int{d.X, d.Y, d.Z} {
+		if v > 1 {
+			c *= v
+		}
+	}
+	return c
+}
+
+// Dim returns a 1-D Dim3.
+func Dim(x int) Dim3 { return Dim3{X: x} }
+
+// LaunchConfig describes one kernel launch.
+type LaunchConfig struct {
+	Entry string
+	Grid  Dim3
+	Block Dim3
+	// RegsPerThread and SharedMemPerBlock feed the occupancy calculator.
+	RegsPerThread     int
+	SharedMemPerBlock int
+}
+
+// Config controls a simulation run.
+type Config struct {
+	GPU *arch.GPU
+	// SimSMs bounds how many SMs are simulated in detail; the remaining
+	// SMs are assumed to behave like the simulated ones (the paper makes
+	// the same homogeneity assumption when extrapolating per-SM samples
+	// to the kernel). 0 means 4.
+	SimSMs int
+	// SamplePeriod is the PC sampling period in cycles (0 disables
+	// sampling).
+	SamplePeriod int
+	// Sink receives samples when sampling is enabled.
+	Sink SampleSink
+	// Seed perturbs the deterministic memory-latency jitter.
+	Seed uint64
+	// MaxCycles aborts runaway simulations (0 means 50M).
+	MaxCycles int64
+}
+
+// Result summarizes one simulated launch.
+type Result struct {
+	// Cycles is the kernel duration: the completion cycle of the
+	// busiest simulated SM.
+	Cycles int64
+	// IssuedPerPC counts issued instructions per flat PC across
+	// simulated SMs.
+	IssuedPerPC []int64
+	// TotalIssued is the sum of IssuedPerPC.
+	TotalIssued int64
+	// Occupancy echoes the launch occupancy.
+	Occupancy arch.Occupancy
+	// WarpsPerScheduler is the EFFECTIVE resident warp count per
+	// scheduler: the occupancy capacity capped by what the grid
+	// actually supplies per SM. This is the W of the paper's Equations
+	// 6-9.
+	WarpsPerScheduler int
+	// ActiveSMs is how many SMs had at least one block.
+	ActiveSMs int
+	// SimulatedSMs is how many SMs were simulated in detail.
+	SimulatedSMs int
+	// BlocksLaunched is the grid block count.
+	BlocksLaunched int
+	// ThreadsPerBlock echoes the launch config.
+	ThreadsPerBlock int
+}
+
+// Run simulates a kernel launch to completion.
+func Run(p *Program, launch LaunchConfig, wl Workload, cfg Config) (*Result, error) {
+	if cfg.GPU == nil {
+		return nil, fmt.Errorf("gpusim: nil GPU config")
+	}
+	if wl == nil {
+		wl = NopWorkload{}
+	}
+	entry, err := p.EntryOf(launch.Entry)
+	if err != nil {
+		return nil, err
+	}
+	threads := launch.Block.Count()
+	occ, err := cfg.GPU.ComputeOccupancy(threads, launch.RegsPerThread, launch.SharedMemPerBlock)
+	if err != nil {
+		return nil, fmt.Errorf("gpusim: %w", err)
+	}
+	blocks := launch.Grid.Count()
+	if blocks <= 0 {
+		return nil, fmt.Errorf("gpusim: empty grid")
+	}
+	activeSMs := cfg.GPU.NumSMs
+	if blocks < activeSMs {
+		activeSMs = blocks
+	}
+	simSMs := cfg.SimSMs
+	if simSMs <= 0 {
+		simSMs = 4
+	}
+	if simSMs > activeSMs {
+		simSMs = activeSMs
+	}
+	maxCycles := cfg.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = 50_000_000
+	}
+
+	res := &Result{
+		IssuedPerPC:     make([]int64, len(p.Instrs)),
+		Occupancy:       occ,
+		ActiveSMs:       activeSMs,
+		SimulatedSMs:    simSMs,
+		BlocksLaunched:  blocks,
+		ThreadsPerBlock: threads,
+	}
+	warpsPerBlock := (threads + cfg.GPU.WarpSize - 1) / cfg.GPU.WarpSize
+	residentBlocks := (blocks + cfg.GPU.NumSMs - 1) / cfg.GPU.NumSMs
+	if residentBlocks > occ.BlocksPerSM {
+		residentBlocks = occ.BlocksPerSM
+	}
+	res.WarpsPerScheduler = (residentBlocks*warpsPerBlock + cfg.GPU.SchedulersPerSM - 1) /
+		cfg.GPU.SchedulersPerSM
+	if res.WarpsPerScheduler < 1 {
+		res.WarpsPerScheduler = 1
+	}
+	for smID := 0; smID < simSMs; smID++ {
+		// SM k runs grid blocks k, k+NumSMs, k+2*NumSMs, ...
+		var myBlocks []int
+		for b := smID; b < blocks; b += cfg.GPU.NumSMs {
+			myBlocks = append(myBlocks, b)
+		}
+		if len(myBlocks) == 0 {
+			continue
+		}
+		sm := newSM(smID, p, wl, cfg, launch, occ, entry, myBlocks, warpsPerBlock)
+		cycles, err := sm.run(maxCycles)
+		if err != nil {
+			return nil, err
+		}
+		if cycles > res.Cycles {
+			res.Cycles = cycles
+		}
+		for pc, n := range sm.issuedPerPC {
+			res.IssuedPerPC[pc] += n
+			res.TotalIssued += n
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,596 @@
+package gpusim
+
+import (
+	"fmt"
+
+	"gpa/internal/arch"
+	"gpa/internal/sass"
+)
+
+// icacheLineInstrs is the instruction-cache line size in instructions.
+const icacheLineInstrs = 32
+
+// blockLaunchOverhead is the cycle cost of rotating a finished block
+// slot to a fresh block.
+const blockLaunchOverhead = 25
+
+// fetchSerializeCycles is the shared fetch unit's occupancy per
+// instruction-cache miss.
+const fetchSerializeCycles = 24
+
+type warpState struct {
+	ctx        WarpCtx
+	slot       int // block slot index
+	pc         int
+	callStack  []int
+	exited     bool
+	barWait    bool
+	nextIssue  int64
+	issueStall StallReason // reason reported while nextIssue is pending
+	fetchReady int64
+	barReady   [sass.NumBarriers]int64
+	barReason  [sass.NumBarriers]StallReason
+	visits     map[int]int
+	// lastIssuedPC / lastIssueCycle feed active "selected" samples.
+	lastIssuedPC   int
+	lastIssueCycle int64
+}
+
+type blockSlot struct {
+	warps      []int // indices into sm.warps
+	arrived    int   // warps waiting at BAR.SYNC
+	aliveCount int
+	done       bool
+}
+
+type scheduler struct {
+	warps     []int // indices into sm.warps
+	rotate    int   // LRR issue pointer
+	samplePtr int   // round-robin sampled-warp pointer
+	issuedNow bool  // issued at the current cycle
+	// unitBusy models per-partition execution-unit throughput: each
+	// scheduler owns its FP32/INT/FP64/SFU pipes on Volta.
+	unitBusy [16]int64 // per exec class
+}
+
+type mshrRelease struct {
+	cycle int64
+	count int
+}
+
+type sm struct {
+	id     int
+	p      *Program
+	wl     Workload
+	gpu    *arch.GPU
+	cfg    Config
+	launch LaunchConfig
+	entry  int
+
+	scheds []scheduler
+	warps  []warpState
+	slots  []blockSlot
+
+	blockQueue []int // global block IDs still to run
+	nextBlock  int
+
+	mshrFree int
+	releases []mshrRelease
+
+	icache    map[int]int64 // line -> last use cycle
+	icacheCap int
+	// fetchBusy serializes instruction-cache miss handling: the fetch
+	// unit services one miss at a time.
+	fetchBusy int64
+
+	issuedPerPC []int64
+	warpsPerBlk int
+	tick        int64 // sampling tick counter
+}
+
+func newSM(id int, p *Program, wl Workload, cfg Config, launch LaunchConfig,
+	occ arch.Occupancy, entry int, blocks []int, warpsPerBlock int) *sm {
+	s := &sm{
+		id: id, p: p, wl: wl, gpu: cfg.GPU, cfg: cfg, launch: launch,
+		entry:       entry,
+		blockQueue:  blocks,
+		mshrFree:    cfg.GPU.MSHRsPerSM,
+		icache:      map[int]int64{},
+		icacheCap:   max(1, cfg.GPU.ICacheInstrs/icacheLineInstrs),
+		issuedPerPC: make([]int64, len(p.Instrs)),
+		warpsPerBlk: warpsPerBlock,
+	}
+	s.scheds = make([]scheduler, cfg.GPU.SchedulersPerSM)
+	resident := occ.BlocksPerSM
+	if resident > len(blocks) {
+		resident = len(blocks)
+	}
+	for slot := 0; slot < resident; slot++ {
+		s.slots = append(s.slots, blockSlot{})
+		s.startBlock(slot, 0)
+	}
+	return s
+}
+
+// startBlock (re)fills a block slot with the next queued block at the
+// given cycle; it returns false when the queue is empty.
+func (s *sm) startBlock(slot int, now int64) bool {
+	if s.nextBlock >= len(s.blockQueue) {
+		s.slots[slot].done = true
+		return false
+	}
+	blockID := s.blockQueue[s.nextBlock]
+	s.nextBlock++
+	bs := &s.slots[slot]
+	bs.arrived = 0
+	bs.aliveCount = s.warpsPerBlk
+	bs.done = false
+	if bs.warps == nil {
+		for wi := 0; wi < s.warpsPerBlk; wi++ {
+			widx := len(s.warps)
+			bs.warps = append(bs.warps, widx)
+			s.warps = append(s.warps, warpState{slot: slot})
+			// Warps are distributed round-robin over schedulers.
+			sc := widx % len(s.scheds)
+			s.scheds[sc].warps = append(s.scheds[sc].warps, widx)
+		}
+	}
+	for wi, widx := range bs.warps {
+		w := &s.warps[widx]
+		*w = warpState{
+			slot: slot,
+			ctx: WarpCtx{
+				SM:          s.id,
+				Block:       blockID,
+				WarpInBlock: wi,
+				GlobalWarp:  blockID*s.warpsPerBlk + wi,
+			},
+			pc:        s.entry,
+			nextIssue: now + blockLaunchOverhead,
+			visits:    map[int]int{},
+		}
+	}
+	return true
+}
+
+func (s *sm) allDone() bool {
+	if s.nextBlock < len(s.blockQueue) {
+		return false
+	}
+	for i := range s.slots {
+		if !s.slots[i].done {
+			return false
+		}
+	}
+	return true
+}
+
+// readiness reports whether warp w can issue at cycle now, with the
+// stall reason when it cannot. The returned reason for a ready warp is
+// ReasonNotSelected (callers override to ReasonNone for the issuer).
+func (s *sm) readiness(sc *scheduler, w *warpState, now int64) (bool, StallReason) {
+	if w.exited {
+		return false, ReasonIdle
+	}
+	if w.barWait {
+		return false, ReasonSync
+	}
+	if w.fetchReady > now {
+		return false, ReasonInstructionFetch
+	}
+	in := &s.p.Instrs[w.pc]
+	// Scoreboard wait mask: report the slowest pending barrier.
+	var worst int64
+	reason := ReasonNone
+	for b := 0; b < sass.NumBarriers; b++ {
+		if in.Ctrl.Waits(b) && w.barReady[b] > now && w.barReady[b] > worst {
+			worst = w.barReady[b]
+			reason = w.barReason[b]
+		}
+	}
+	if worst > 0 {
+		return false, reason
+	}
+	if w.nextIssue > now {
+		return false, w.issueStall
+	}
+	info := in.Opcode.Info()
+	if in.Opcode.IsMemory() {
+		tx := max(1, s.wl.Transactions(w.pc))
+		if spaceNeedsMSHR(in.Opcode) && s.mshrFree < tx {
+			return false, ReasonMemoryThrottle
+		}
+	}
+	if sc.unitBusy[info.Class] > now {
+		return false, ReasonPipeBusy
+	}
+	return true, ReasonNotSelected
+}
+
+func spaceNeedsMSHR(op sass.Opcode) bool {
+	switch op.Info().Class {
+	case sass.ClassMemGlobal, sass.ClassMemLocal, sass.ClassMemGeneric:
+		return true
+	}
+	return false
+}
+
+// memLatency models the completion latency of a variable-latency
+// instruction.
+func (s *sm) memLatency(w *warpState, in *sass.Instruction, tx int) int64 {
+	visit := w.visits[w.pc]
+	if lat := s.wl.Latency(w.ctx, w.pc, visit); lat > 0 {
+		return int64(lat)
+	}
+	g := s.gpu
+	var base int
+	switch in.Opcode.Info().Class {
+	case sass.ClassMemGlobal, sass.ClassMemGeneric:
+		base = g.GlobalLatency
+		if in.Opcode == sass.OpATOM || in.Opcode == sass.OpRED {
+			base = g.AtomicLatency
+		}
+	case sass.ClassMemLocal:
+		base = g.LocalLatency
+	case sass.ClassMemShared:
+		base = g.SharedLatency
+	case sass.ClassMemConst:
+		base = g.ConstLatency
+	case sass.ClassMUFU:
+		base = 24
+		if in.Opcode == sass.OpIDIV {
+			base = 52
+		}
+	default:
+		if in.Opcode == sass.OpS2R {
+			base = 20
+		} else {
+			base = 16
+		}
+	}
+	// Deterministic jitter: ±12% keyed by (seed, warp, pc, visit).
+	h := splitmix(s.cfg.Seed ^ uint64(w.ctx.GlobalWarp)<<32 ^ uint64(w.pc)<<8 ^ uint64(visit))
+	jitter := int64(h%uint64(max(1, base/4))) - int64(base/8)
+	// Uncoalesced accesses serialize their extra transactions.
+	extra := int64(0)
+	if tx > 1 && spaceNeedsMSHR(in.Opcode) {
+		extra = int64(tx-1) * 28
+	}
+	lat := int64(base) + jitter + extra
+	if lat < 2 {
+		lat = 2
+	}
+	return lat
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// barrierReasonFor maps a variable-latency producer to the stall reason
+// a consumer waiting on its barrier reports.
+func barrierReasonFor(op sass.Opcode) StallReason {
+	switch op.Info().Class {
+	case sass.ClassMemGlobal, sass.ClassMemLocal, sass.ClassMemConst, sass.ClassMemGeneric:
+		return ReasonMemoryDependency
+	case sass.ClassMemShared:
+		return ReasonExecutionDependency
+	}
+	// MUFU, IDIV, S2R, SHFL and read-barrier (WAR) waits are execution
+	// dependencies.
+	return ReasonExecutionDependency
+}
+
+// icacheCheck models the instruction cache at a control transfer to
+// target; sequential flow never misses (hardware prefetches linearly).
+func (s *sm) icacheCheck(w *warpState, target int, now int64) {
+	line := target / icacheLineInstrs
+	if _, ok := s.icache[line]; ok {
+		s.icache[line] = now
+		return
+	}
+	// Miss: evict LRU if full, install, stall the warp. Misses are
+	// serviced through a shared fetch unit, so concurrent misses
+	// serialize (fetchSerializeCycles each).
+	if len(s.icache) >= s.icacheCap {
+		var lruLine int
+		lruCycle := int64(1<<62 - 1)
+		for l, c := range s.icache {
+			if c < lruCycle {
+				lruCycle, lruLine = c, l
+			}
+		}
+		delete(s.icache, lruLine)
+	}
+	s.icache[line] = now
+	start := now
+	if s.fetchBusy > start {
+		start = s.fetchBusy
+	}
+	w.fetchReady = start + int64(s.gpu.IFetchMissLatency)
+	s.fetchBusy = start + fetchSerializeCycles
+}
+
+// issue executes one instruction for warp w at cycle now.
+func (s *sm) issue(sc *scheduler, widx int, now int64) {
+	w := &s.warps[widx]
+	pc := w.pc
+	in := &s.p.Instrs[pc]
+	info := in.Opcode.Info()
+	s.issuedPerPC[pc]++
+	w.lastIssuedPC = pc
+	w.lastIssueCycle = now
+
+	stall := int64(in.Ctrl.Stall)
+	if stall < 1 {
+		stall = 1
+	}
+	w.nextIssue = now + stall
+	if stall > 2 && !in.Opcode.IsControl() {
+		w.issueStall = ReasonExecutionDependency
+	} else {
+		w.issueStall = ReasonOther
+	}
+	sc.unitBusy[info.Class] = now + int64(s.gpu.IssueCost(in.Opcode))
+
+	if info.VariableLatency {
+		tx := max(1, s.wl.Transactions(pc))
+		lat := s.memLatency(w, in, tx)
+		if spaceNeedsMSHR(in.Opcode) {
+			s.mshrFree -= tx
+			s.releases = append(s.releases, mshrRelease{cycle: now + lat, count: tx})
+		}
+		reason := barrierReasonFor(in.Opcode)
+		if wb := in.Ctrl.WriteBar; wb != sass.NoBarrier {
+			w.barReady[wb] = now + lat
+			w.barReason[wb] = reason
+		}
+		if rb := in.Ctrl.ReadBar; rb != sass.NoBarrier {
+			// Source operands are consumed well before the result
+			// lands; WAR hazards clear earlier.
+			readDone := now + min64(lat, 20)
+			if w.barReady[rb] < readDone {
+				w.barReady[rb] = readDone
+				w.barReason[rb] = ReasonExecutionDependency
+			}
+		}
+	}
+
+	// Control flow.
+	switch in.Opcode {
+	case sass.OpBRA, sass.OpJMP, sass.OpBRX:
+		visit := w.visits[pc]
+		w.visits[pc] = visit + 1
+		taken := in.Unconditional() || s.wl.Taken(w.ctx, pc, visit)
+		if taken {
+			w.pc = s.p.Target(pc)
+			s.icacheCheck(w, w.pc, now)
+		} else {
+			w.pc = pc + 1
+			if w.pc/icacheLineInstrs != pc/icacheLineInstrs {
+				s.icacheCheck(w, w.pc, now)
+			}
+		}
+	case sass.OpCAL:
+		w.callStack = append(w.callStack, pc+1)
+		w.pc = s.p.Target(pc)
+		s.icacheCheck(w, w.pc, now)
+	case sass.OpRET:
+		if len(w.callStack) == 0 {
+			s.exitWarp(w)
+			return
+		}
+		w.pc = w.callStack[len(w.callStack)-1]
+		w.callStack = w.callStack[:len(w.callStack)-1]
+		s.icacheCheck(w, w.pc, now)
+	case sass.OpEXIT:
+		s.exitWarp(w)
+	case sass.OpBAR:
+		w.barWait = true
+		w.pc = pc + 1
+		slot := &s.slots[w.slot]
+		slot.arrived++
+		s.maybeReleaseBarrier(slot)
+	default:
+		w.pc = pc + 1
+		// Sequential flow fetches new lines as well: bodies larger than
+		// the cache evict their own head and pay misses continuously.
+		if w.pc/icacheLineInstrs != pc/icacheLineInstrs {
+			s.icacheCheck(w, w.pc, now)
+		}
+	}
+}
+
+func (s *sm) exitWarp(w *warpState) {
+	w.exited = true
+	slot := &s.slots[w.slot]
+	slot.aliveCount--
+	s.maybeReleaseBarrier(slot)
+	if slot.aliveCount == 0 {
+		s.startBlock(w.slot, w.lastIssueCycle)
+	}
+}
+
+func (s *sm) maybeReleaseBarrier(slot *blockSlot) {
+	if slot.aliveCount > 0 && slot.arrived >= slot.aliveCount {
+		for _, widx := range slot.warps {
+			s.warps[widx].barWait = false
+		}
+		slot.arrived = 0
+	}
+}
+
+// processReleases returns MSHR slots whose transactions completed.
+func (s *sm) processReleases(now int64) {
+	kept := s.releases[:0]
+	for _, r := range s.releases {
+		if r.cycle <= now {
+			s.mshrFree += r.count
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	s.releases = kept
+}
+
+// nextEvent returns the earliest future cycle at which any warp might
+// become ready (or an MSHR frees), for idle-cycle skipping.
+func (s *sm) nextEvent(now int64) int64 {
+	next := int64(1<<62 - 1)
+	consider := func(c int64) {
+		if c > now && c < next {
+			next = c
+		}
+	}
+	for i := range s.warps {
+		w := &s.warps[i]
+		if w.exited {
+			continue
+		}
+		consider(w.nextIssue)
+		consider(w.fetchReady)
+		if !w.barWait {
+			in := &s.p.Instrs[w.pc]
+			for b := 0; b < sass.NumBarriers; b++ {
+				if in.Ctrl.Waits(b) {
+					consider(w.barReady[b])
+				}
+			}
+		}
+	}
+	for _, r := range s.releases {
+		consider(r.cycle)
+	}
+	for si := range s.scheds {
+		for c := range s.scheds[si].unitBusy {
+			consider(s.scheds[si].unitBusy[c])
+		}
+	}
+	if next == 1<<62-1 {
+		return now + 1
+	}
+	return next
+}
+
+// sampleTick records one PC sample: the sampling unit cycles round-robin
+// over the warp schedulers (one scheduler per period, per Figure 1 of
+// the paper) and rotates over the scheduler's resident warps.
+func (s *sm) sampleTick(now int64) {
+	sink := s.cfg.Sink
+	if sink == nil {
+		return
+	}
+	schedIdx := int(s.tick) % len(s.scheds)
+	s.tick++
+	sc := &s.scheds[schedIdx]
+	// Pick the next non-exited warp in rotation.
+	n := len(sc.warps)
+	if n == 0 {
+		return
+	}
+	var w *warpState
+	widx := -1
+	for i := 0; i < n; i++ {
+		cand := sc.warps[(sc.samplePtr+i)%n]
+		if !s.warps[cand].exited {
+			widx = cand
+			sc.samplePtr = (sc.samplePtr + i + 1) % n
+			break
+		}
+	}
+	if widx < 0 {
+		return
+	}
+	w = &s.warps[widx]
+	smp := Sample{
+		SM:        s.id,
+		Scheduler: schedIdx,
+		Warp:      widx,
+		Cycle:     now,
+		Active:    sc.issuedNow,
+	}
+	if w.lastIssueCycle == now && w.lastIssueCycle > 0 {
+		smp.PC = w.lastIssuedPC
+		smp.Reason = ReasonNone
+	} else {
+		smp.PC = w.pc
+		_, reason := s.readiness(sc, w, now)
+		smp.Reason = reason
+	}
+	sink.Record(smp)
+}
+
+// run drives the SM to completion and returns the final cycle.
+func (s *sm) run(maxCycles int64) (int64, error) {
+	now := int64(0)
+	period := int64(s.cfg.SamplePeriod)
+	nextTick := period
+	lastProgress := int64(0)
+	for !s.allDone() {
+		if now > maxCycles {
+			return 0, fmt.Errorf("gpusim: SM %d exceeded %d cycles (possible livelock; last progress at %d)",
+				s.id, maxCycles, lastProgress)
+		}
+		s.processReleases(now)
+		anyIssued := false
+		for si := range s.scheds {
+			sc := &s.scheds[si]
+			sc.issuedNow = false
+			n := len(sc.warps)
+			for i := 0; i < n; i++ {
+				widx := sc.warps[(sc.rotate+i)%n]
+				w := &s.warps[widx]
+				if ok, _ := s.readiness(sc, w, now); ok {
+					s.issue(sc, widx, now)
+					sc.rotate = (sc.rotate + i + 1) % n
+					sc.issuedNow = true
+					anyIssued = true
+					lastProgress = now
+					break
+				}
+			}
+		}
+		if period > 0 && now >= nextTick {
+			s.sampleTick(now)
+			nextTick += period
+		}
+		if anyIssued {
+			now++
+			continue
+		}
+		// Idle: skip to the next event, firing sample ticks on the way
+		// (they all observe the same stalled state).
+		next := s.nextEvent(now)
+		if period > 0 {
+			for si := range s.scheds {
+				s.scheds[si].issuedNow = false
+			}
+			for nextTick < next {
+				s.sampleTick(nextTick)
+				nextTick += period
+			}
+		}
+		if next <= now {
+			next = now + 1
+		}
+		now = next
+	}
+	return now, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

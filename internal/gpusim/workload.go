@@ -1,0 +1,163 @@
+package gpusim
+
+import "fmt"
+
+// WarpCtx identifies a warp executing under a workload: which SM hosts
+// it, which grid block it belongs to, and its position within the block.
+type WarpCtx struct {
+	SM          int
+	Block       int // global block index within the grid
+	WarpInBlock int
+	GlobalWarp  int // Block*warpsPerBlock + WarpInBlock
+}
+
+// Workload supplies the data-dependent behaviour the simulator cannot
+// derive from the binary alone: branch outcomes (loop trip counts,
+// divergent conditionals), memory latency variation, and per-access
+// transaction counts (coalescing).
+type Workload interface {
+	// Taken reports the direction of the conditional branch at flat
+	// instruction index pc on its visit-th dynamic execution by a warp.
+	Taken(w WarpCtx, pc int, visit int) bool
+	// Latency returns a latency override in cycles for the
+	// variable-latency instruction at pc (0 means "use the default
+	// model").
+	Latency(w WarpCtx, pc int, visit int) int
+	// Transactions returns how many memory transactions the memory
+	// instruction at pc issues per warp (0 means 1, i.e. fully
+	// coalesced).
+	Transactions(pc int) int
+}
+
+// TripFunc yields a loop trip count for a warp.
+type TripFunc func(w WarpCtx) int
+
+// UniformTrips returns a TripFunc with the same trip count for every
+// warp.
+func UniformTrips(n int) TripFunc { return func(WarpCtx) int { return n } }
+
+// Site names an instruction by function and label, the form kernel
+// definitions use before label tables are erased by binary packing.
+type Site struct {
+	Func  string
+	Label string
+}
+
+// Spec is a declarative workload: trip counts for backward branches,
+// boolean patterns for forward conditionals, latency overrides and
+// transaction counts for memory instructions, all keyed by labelled
+// sites. Bind resolves it against a loaded program.
+type Spec struct {
+	// Trips: the labelled conditional branch loops; a warp takes the
+	// branch Trips(w) times per loop entry, then falls through.
+	Trips map[Site]TripFunc
+	// Taken: explicit direction patterns for labelled conditional
+	// branches (checked before Trips).
+	Taken map[Site]func(w WarpCtx, visit int) bool
+	// Latency: overrides for labelled variable-latency instructions.
+	Latency map[Site]func(w WarpCtx, visit int) int
+	// Transactions: per-site transaction counts (coalescing model).
+	Transactions map[Site]int
+	// DefaultTaken is used for conditional branches with no entry: taken
+	// on the first visit of each cycle of length 2 when true... it is
+	// simply returned as-is. Unlisted branches default to not taken.
+	DefaultTaken bool
+}
+
+// Bind resolves the spec's labelled sites to flat instruction indices.
+func (s *Spec) Bind(p *Program) (Workload, error) {
+	b := &boundWorkload{
+		trips:   map[int]TripFunc{},
+		taken:   map[int]func(WarpCtx, int) bool{},
+		latency: map[int]func(WarpCtx, int) int{},
+		trans:   map[int]int{},
+		def:     s.DefaultTaken,
+	}
+	resolve := func(site Site) (int, error) {
+		idx, err := p.FlatIndex(site.Func, site.Label)
+		if err != nil {
+			return 0, fmt.Errorf("gpusim: workload site %v: %w", site, err)
+		}
+		return idx, nil
+	}
+	for site, fn := range s.Trips {
+		idx, err := resolve(site)
+		if err != nil {
+			return nil, err
+		}
+		b.trips[idx] = fn
+	}
+	for site, fn := range s.Taken {
+		idx, err := resolve(site)
+		if err != nil {
+			return nil, err
+		}
+		b.taken[idx] = fn
+	}
+	for site, fn := range s.Latency {
+		idx, err := resolve(site)
+		if err != nil {
+			return nil, err
+		}
+		b.latency[idx] = fn
+	}
+	for site, n := range s.Transactions {
+		idx, err := resolve(site)
+		if err != nil {
+			return nil, err
+		}
+		b.trans[idx] = n
+	}
+	return b, nil
+}
+
+type boundWorkload struct {
+	trips   map[int]TripFunc
+	taken   map[int]func(WarpCtx, int) bool
+	latency map[int]func(WarpCtx, int) int
+	trans   map[int]int
+	def     bool
+}
+
+func (b *boundWorkload) Taken(w WarpCtx, pc, visit int) bool {
+	if fn, ok := b.taken[pc]; ok {
+		return fn(w, visit)
+	}
+	if fn, ok := b.trips[pc]; ok {
+		n := fn(w)
+		if n <= 0 {
+			return false
+		}
+		// Cycle of n taken visits followed by one fall-through, so
+		// re-entered loops (nests) iterate again.
+		return visit%(n+1) != n
+	}
+	return b.def
+}
+
+func (b *boundWorkload) Latency(w WarpCtx, pc, visit int) int {
+	if fn, ok := b.latency[pc]; ok {
+		return fn(w, visit)
+	}
+	return 0
+}
+
+func (b *boundWorkload) Transactions(pc int) int {
+	if n, ok := b.trans[pc]; ok {
+		return n
+	}
+	return 0
+}
+
+// NopWorkload is the zero workload: no branch taken, default latencies,
+// coalesced accesses.
+type NopWorkload struct{}
+
+// Taken always reports false.
+func (NopWorkload) Taken(WarpCtx, int, int) bool { return false }
+
+// Latency always defers to the default model.
+func (NopWorkload) Latency(WarpCtx, int, int) int { return 0 }
+
+// Transactions always reports fully coalesced accesses.
+func (NopWorkload) Transactions(int) int { return 0 }

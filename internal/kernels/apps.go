@@ -1,0 +1,301 @@
+package kernels
+
+import "gpa"
+
+// The four larger applications of Section 7.
+
+func init() {
+	registerQuicksilver()
+	registerExaTENSOR()
+	registerPeleC()
+	registerMinimod()
+	registerMyocyteSplit()
+}
+
+// Quicksilver: one large Monte Carlo tracking kernel invoking many
+// device functions.
+func registerQuicksilver() {
+	// Row 20: function inlining. The cross-section helpers are tiny but
+	// called per segment; calls block scheduling across the boundary.
+	baseAsm := func() string {
+		b := newAsm("CycleTracking.cc")
+		b.fn("_ZN12macro_xs", "device")
+		b.at(410)
+		b.ins("FFMA R20, R20, R21, R20 {S:4}")
+		b.ffmaChain(4, 20)
+		b.ins("RET {S:2}")
+		b.fn("_ZN12collision_event", "device")
+		b.at(520)
+		b.ins("FFMA R28, R28, R29, R28 {S:4}")
+		b.ffmaChain(3, 24)
+		b.ins("RET {S:2}")
+		b.fn("CycleTrackingKernel", "global")
+		b.loopPrologue(95)
+		b.label("LOOP").at(100)
+		b.ins("LDG.E.32 R16, [R2] {S:1, W:0}")
+		b.at(101)
+		b.ins("CAL _ZN12macro_xs {S:2}")
+		b.at(102)
+		b.ins("CAL _ZN12collision_event {S:2}")
+		b.ins("IADD R2, R2, 0x4 {S:4}")
+		b.loopEpilogue("LOOP", "BR0", 104)
+		b.ins("STG.E.32 [R2], R20 {S:1, R:1, Q:0}")
+		b.ins("EXIT {Q:1}")
+		return b.String()
+	}
+	optAsm := func() string {
+		b := newAsm("CycleTracking.cc")
+		b.fn("CycleTrackingKernel", "global")
+		b.loopPrologue(95)
+		b.label("LOOP").at(100)
+		b.ins("LDG.E.32 R16, [R2] {S:1, W:0}")
+		b.at(101)
+		b.ins("FFMA R20, R20, R21, R20 {S:4}")
+		b.ffmaChain(4, 20)
+		b.at(102)
+		b.ins("FFMA R28, R28, R29, R28 {S:4}")
+		b.ffmaChain(3, 24)
+		b.ins("IADD R2, R2, 0x4 {S:4}")
+		b.loopEpilogue("LOOP", "BR0", 104)
+		b.ins("STG.E.32 [R2], R20 {S:1, R:1, Q:0}")
+		b.ins("EXIT {Q:1}")
+		return b.String()
+	}
+	spec := func() *gpa.WorkloadSpec {
+		return &gpa.WorkloadSpec{Trips: map[gpa.Site]gpa.TripFunc{
+			{Func: "CycleTrackingKernel", Label: "BR0"}: gpa.UniformTrips(48),
+		}}
+	}
+	register(&Benchmark{
+		App: "Quicksilver", Kernel: "CycleTrackingKernel",
+		Optimization: "Function Inlining", Optimizer: "GPUFunctionInlineOptimizer",
+		PaperAchieved: 1.12, PaperEstimated: 1.18,
+		Base: Variant{Asm: baseAsm(), Launch: fullLaunch("CycleTrackingKernel"), Spec: spec()},
+		Opt:  Variant{Asm: optAsm(), Launch: fullLaunch("CycleTrackingKernel"), Spec: spec()},
+	})
+
+	// Row 21: register reuse. The tracking loop spills particle state
+	// to local memory; splitting the loop saves the registers.
+	spillAsm := func(spill bool) string {
+		b := newAsm("CycleTracking.cc")
+		b.fn("CycleTrackingKernel", "global")
+		b.loopPrologue(140)
+		b.label("LOOP").at(145)
+		b.ins("LDG.E.32 R16, [R2] {S:1, W:0}")
+		b.ins("FFMA R20, R20, R21, R20 {S:4}")
+		if spill {
+			b.at(147)
+			b.ins("STL.32 [R3], R20 {S:1, R:2}")
+			b.ffmaChain(30, 20)
+			b.at(149)
+			b.ins("LDL.32 R21, [R3] {S:1, W:3, Q:2}")
+			b.ins("FFMA R22, R21, R22, R22 {S:4, Q:3}")
+		} else {
+			b.ffmaChain(30, 20)
+			b.at(149)
+			b.ins("FFMA R22, R20, R22, R22 {S:4}")
+		}
+		b.ins("IADD R2, R2, 0x4 {S:4}")
+		b.loopEpilogue("LOOP", "BR0", 151)
+		b.ins("STG.E.32 [R2], R22 {S:1, R:1, Q:0}")
+		b.ins("EXIT {Q:1}")
+		return b.String()
+	}
+	register(&Benchmark{
+		App: "Quicksilver", Kernel: "CycleTrackingKernel",
+		Optimization: "Register Reuse", Optimizer: "GPURegisterReuseOptimizer",
+		PaperAchieved: 1.03, PaperEstimated: 1.04,
+		Base: Variant{Asm: spillAsm(true), Launch: fullLaunch("CycleTrackingKernel"), Spec: spec()},
+		Opt:  Variant{Asm: spillAsm(false), Launch: fullLaunch("CycleTrackingKernel"), Spec: spec()},
+	})
+}
+
+// ExaTENSOR: tensor transpose kernel (Section 7.1 / Figure 8).
+func registerExaTENSOR() {
+	// Row 22: strength reduction — integer division in the index
+	// permutation arithmetic.
+	base, opt := strengthPair(strengthParams{
+		file: "cuda2.cu", kernel: "tensor_transpose",
+		loopLine: 34, trips: 24,
+		launch:  fullLaunch("tensor_transpose"),
+		useIDIV: true,
+	})
+	register(&Benchmark{
+		App: "ExaTENSOR", Kernel: "tensor_transpose",
+		Optimization: "Strength Reduction", Optimizer: "GPUStrengthReductionOptimizer",
+		PaperAchieved: 1.07, PaperEstimated: 1.06,
+		Base: base, Opt: opt,
+	})
+
+	// Row 23: memory transaction reduction — the permutation table is
+	// read from global memory by every thread (32 transactions per
+	// request); constant memory serves it broadcast.
+	mtAsm := func(useConst bool) string {
+		b := newAsm("cuda2.cu")
+		b.fn("tensor_transpose", "global")
+		b.loopPrologue(27)
+		b.label("LOOP").at(30)
+		if useConst {
+			b.ins("LDC.32 R8, c[0x3][0x40] {S:1, W:0}")
+		} else {
+			b.label("PERM")
+			b.ins("LDG.E.32 R8, [R4] {S:1, W:0}")
+		}
+		b.ins("LDG.E.32 R9, [R2] {S:1, W:1}")
+		b.at(34)
+		b.ins("IMAD R10, R8, R9, R10 {S:4, Q:0|1}")
+		b.ffmaChain(40, 16)
+		b.ins("IADD R2, R2, 0x4 {S:4}")
+		b.loopEpilogue("LOOP", "BR0", 36)
+		b.ins("STG.E.32 [R2], R10 {S:1, R:1}")
+		b.ins("EXIT {Q:1}")
+		return b.String()
+	}
+	spec := func(uncoalesced bool) *gpa.WorkloadSpec {
+		s := &gpa.WorkloadSpec{Trips: map[gpa.Site]gpa.TripFunc{
+			{Func: "tensor_transpose", Label: "BR0"}: gpa.UniformTrips(32),
+		}}
+		if uncoalesced {
+			s.Transactions = map[gpa.Site]int{
+				{Func: "tensor_transpose", Label: "PERM"}: 2,
+			}
+		}
+		return s
+	}
+	register(&Benchmark{
+		App: "ExaTENSOR", Kernel: "tensor_transpose",
+		Optimization:  "Memory Transaction Reduction",
+		Optimizer:     "GPUMemoryTransactionReductionOptimizer",
+		PaperAchieved: 1.03, PaperEstimated: 1.05,
+		Base: Variant{Asm: mtAsm(false), Spec: spec(true),
+			Launch: gpa.Launch{Entry: "tensor_transpose", GridX: 640, BlockX: 256, RegsPerThread: 64}},
+		Opt: Variant{Asm: mtAsm(true), Spec: spec(false),
+			Launch: gpa.Launch{Entry: "tensor_transpose", GridX: 640, BlockX: 256, RegsPerThread: 64}},
+	})
+}
+
+// PeleC: reacting-flow kernel with only 16 resident blocks.
+func registerPeleC() {
+	asm := memComputeAsm(memComputeParams{
+		file: "PeleC_reactions.cpp", kernel: "pc_expl_reactions",
+		loopLine: 210, loads: 3, computes: 90,
+	})
+	spec := func() *gpa.WorkloadSpec {
+		return &gpa.WorkloadSpec{Trips: map[gpa.Site]gpa.TripFunc{
+			{Func: "pc_expl_reactions", Label: "BR0"}: gpa.UniformTrips(40),
+		}}
+	}
+	register(&Benchmark{
+		App: "PeleC", Kernel: "pc_expl_reactions",
+		Optimization: "Block Increase", Optimizer: "GPUBlockIncreaseOptimizer",
+		PaperAchieved: 1.19, PaperEstimated: 1.23,
+		Base: Variant{Asm: asm, Spec: spec(),
+			Launch: gpa.Launch{Entry: "pc_expl_reactions", GridX: 16, BlockX: 1024, RegsPerThread: 32}},
+		Opt: Variant{Asm: asm, Spec: spec(),
+			Launch: gpa.Launch{Entry: "pc_expl_reactions", GridX: 32, BlockX: 512, RegsPerThread: 32}},
+	})
+}
+
+// Minimod: higher-order stencil (target_pml_3d).
+func registerMinimod() {
+	// Row 25: fast math — a short precise-math call per point.
+	base, opt := fastMathPair(fastMathParams{
+		file: "minimod_pml.cu", kernel: "target_pml_3d", mathFn: "__internal_accurate_exp",
+		loopLine: 77, trips: 40, chain: 1, extra: 48,
+		launch: fullLaunch("target_pml_3d"),
+	})
+	register(&Benchmark{
+		App: "Minimod", Kernel: "target_pml_3d",
+		Optimization: "Fast Math", Optimizer: "GPUFastMathOptimizer",
+		PaperAchieved: 1.03, PaperEstimated: 1.09,
+		Base: base, Opt: opt,
+	})
+
+	// Row 26: code reordering — stencil loads hoisted ahead of the
+	// accumulation.
+	base2, opt2 := reorderPair(reorderParams{
+		file: "minimod_pml.cu", kernel: "target_pml_3d",
+		loopLine: 83, trips: 40,
+		launch:      fullLaunch("target_pml_3d"),
+		independent: 4,
+	})
+	register(&Benchmark{
+		App: "Minimod", Kernel: "target_pml_3d",
+		Optimization: "Code Reorder", Optimizer: "GPUCodeReorderOptimizer",
+		PaperAchieved: 1.05, PaperEstimated: 1.10,
+		Base: base2, Opt: opt2,
+	})
+}
+
+// registerMyocyteSplit adds the myocyte rows: solver_2 is a single
+// enormous kernel whose loop body overflows the instruction cache, and
+// it leans on precise math.
+func registerMyocyteSplit() {
+	// Row 13: fast math.
+	base, opt := fastMathPair(fastMathParams{
+		file: "myocyte_kernel.cu", kernel: "solver_2", mathFn: "__internal_accurate_pow",
+		loopLine: 40, trips: 36, chain: 4, extra: 16,
+		launch: fullLaunch("solver_2"),
+	})
+	register(&Benchmark{
+		App: "rodinia/myocyte", Kernel: "solver_2",
+		Optimization: "Fast Math", Optimizer: "GPUFastMathOptimizer",
+		PaperAchieved: 1.19, PaperEstimated: 1.13, Rodinia: true,
+		Base: base, Opt: opt,
+	})
+
+	// Row 14: function split. The baseline's loop body spans ~26
+	// instruction-cache lines, so the back edge misses every iteration;
+	// the optimized variant splits the body into three loops that each
+	// fit.
+	const bodyOps = 840
+	baseAsm := func() string {
+		b := newAsm("myocyte_kernel.cu")
+		b.fn("solver_2", "global")
+		b.loopPrologue(60)
+		b.label("LOOP").at(64)
+		b.ffmaChain(bodyOps, 8)
+		b.loopEpilogue("LOOP", "BR0", 66)
+		b.ins("EXIT")
+		return b.String()
+	}
+	optAsm := func() string {
+		b := newAsm("myocyte_kernel.cu")
+		b.fn("solver_2", "global")
+		b.loopPrologue(60)
+		for part := 0; part < 3; part++ {
+			b.ins("MOV R0, 0x0 {S:2}")
+			b.label(lbl("LOOP", part)).at(64 + part)
+			b.ffmaChain(bodyOps/3, 8)
+			b.at(66 + part)
+			b.ins("IADD R0, R0, 0x1 {S:4}")
+			b.ins("ISETP P0, R0, 0x7fffff {S:4}")
+			b.ins(lbl("BR", part) + ":\t@P0 BRA " + lbl("LOOP", part) + " {S:5}")
+		}
+		b.ins("EXIT")
+		return b.String()
+	}
+	// Slightly different per-warp trip counts drift warps apart so the
+	// oversized body exercises the instruction cache the way myocyte's
+	// divergent mega-kernel does.
+	trips := gpa.UniformTrips(12)
+	baseSpec := &gpa.WorkloadSpec{Trips: map[gpa.Site]gpa.TripFunc{
+		{Func: "solver_2", Label: "BR0"}: trips,
+	}}
+	optSpec := &gpa.WorkloadSpec{Trips: map[gpa.Site]gpa.TripFunc{
+		{Func: "solver_2", Label: "BR0"}: trips,
+		{Func: "solver_2", Label: "BR1"}: trips,
+		{Func: "solver_2", Label: "BR2"}: trips,
+	}}
+	register(&Benchmark{
+		App: "rodinia/myocyte", Kernel: "solver_2",
+		Optimization: "Function Spliting", Optimizer: "GPUFunctionSplitOptimizer",
+		PaperAchieved: 1.02, PaperEstimated: 1.03, Rodinia: true,
+		Base: Variant{Asm: baseAsm(), Launch: soloBlockLaunch("solver_2"), Spec: baseSpec},
+		Opt:  Variant{Asm: optAsm(), Launch: soloBlockLaunch("solver_2"), Spec: optSpec},
+	})
+}
+
+func lbl(prefix string, i int) string {
+	return prefix + string(rune('0'+i))
+}

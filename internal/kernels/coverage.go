@@ -1,0 +1,40 @@
+package kernels
+
+import (
+	"gpa/internal/arch"
+	"gpa/internal/blamer"
+
+	adv "gpa/internal/advisor"
+)
+
+// Coverage computes the Figure 7 metric for a benchmark's baseline
+// kernel: single-dependency coverage of the instruction dependency graph
+// before and after pruning cold edges, weighted by each function's
+// stalled-instruction count.
+func Coverage(b *Benchmark, ro RunOptions) (before, after float64, err error) {
+	k, wl, err := b.Base.Build()
+	if err != nil {
+		return 0, 0, err
+	}
+	opts := ro.options()
+	opts.Workload = wl
+	prof, err := k.Profile(opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	ctx, err := adv.BuildContext(k.Module, prof, arch.VoltaV100(), blamer.Options{})
+	if err != nil {
+		return 0, 0, err
+	}
+	var weight, sumB, sumA float64
+	for _, fc := range ctx.Funcs {
+		w := float64(len(fc.Blame.UseNodes)) + 1
+		weight += w
+		sumB += fc.Blame.SingleDependencyCoverage(false) * w
+		sumA += fc.Blame.SingleDependencyCoverage(true) * w
+	}
+	if weight == 0 {
+		return 1, 1, nil
+	}
+	return sumB / weight, sumA / weight, nil
+}

@@ -1,0 +1,214 @@
+// Package kernels provides the benchmark workloads of the GPA paper's
+// evaluation (Table 3): synthetic SASS kernels standing in for the
+// Rodinia benchmarks and the four larger applications (Quicksilver,
+// ExaTENSOR, PeleC, Minimod). Each benchmark row carries
+//
+//   - a BASELINE kernel engineered to exhibit the paper's inefficiency
+//     pattern for that row (type-conversion chains in hotspot, barrier
+//     imbalance in nw, short def-use distances in b+tree, low occupancy
+//     in gaussian, ...),
+//   - an OPTIMIZED variant with the row's suggested optimization
+//     applied, and
+//   - the paper's reported achieved/estimated speedups for comparison.
+//
+// The kernels are synthetic: the real applications' data and CUDA code
+// cannot run without a GPU, but each pair triggers the same stall
+// signature through the same simulator mechanics, so optimizer matching,
+// speedup estimation, and achieved-speedup measurement run end to end
+// (see DESIGN.md, "Substitutions").
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gpa"
+)
+
+// Variant is one concrete kernel build: assembly, launch configuration,
+// and workload behaviour.
+type Variant struct {
+	Asm    string
+	Launch gpa.Launch
+	Spec   *gpa.WorkloadSpec
+}
+
+// Build assembles the variant and binds its workload.
+func (v *Variant) Build() (*gpa.Kernel, gpa.Workload, error) {
+	k, err := gpa.LoadKernelAsm(v.Asm, v.Launch)
+	if err != nil {
+		return nil, nil, err
+	}
+	var wl gpa.Workload
+	if v.Spec != nil {
+		wl, err = k.BindWorkload(v.Spec)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return k, wl, nil
+}
+
+// Benchmark is one Table 3 row.
+type Benchmark struct {
+	// App and Kernel name the row ("rodinia/hotspot",
+	// "calculate_temp").
+	App    string
+	Kernel string
+	// Optimization is the row's label ("Strength Reduction").
+	Optimization string
+	// Optimizer is the advisor optimizer expected to match
+	// ("GPUStrengthReductionOptimizer").
+	Optimizer string
+	// PaperAchieved / PaperEstimated are the speedups Table 3 reports.
+	PaperAchieved  float64
+	PaperEstimated float64
+	// Rodinia marks the rows included in the Figure 7 coverage plot.
+	Rodinia bool
+
+	Base, Opt Variant
+}
+
+// ID renders "app/kernel/optimization" for lookups.
+func (b *Benchmark) ID() string {
+	return fmt.Sprintf("%s %s %s", b.App, b.Kernel, b.Optimization)
+}
+
+// Outcome is the measured reproduction of one row.
+type Outcome struct {
+	Bench *Benchmark
+	// BaseCycles / OptCycles are simulated kernel durations.
+	BaseCycles, OptCycles int64
+	// Achieved is BaseCycles / OptCycles.
+	Achieved float64
+	// Estimated is the advisor's speedup estimate for the row's
+	// optimizer on the baseline profile.
+	Estimated float64
+	// Rank is the optimizer's position in the advice report (1-based;
+	// 0 = absent).
+	Rank int
+	// Error is |Estimated-Achieved|/Achieved (the Table 3 error
+	// column).
+	Error float64
+	// Report is the baseline advice report.
+	Report *gpa.Report
+}
+
+// RunOptions tunes a reproduction run.
+type RunOptions struct {
+	SimSMs       int
+	SamplePeriod int
+	Seed         uint64
+}
+
+func (o RunOptions) options() *gpa.Options {
+	simSMs := o.SimSMs
+	if simSMs == 0 {
+		simSMs = 1
+	}
+	return &gpa.Options{SimSMs: simSMs, SamplePeriod: o.SamplePeriod, Seed: o.Seed}
+}
+
+// Run measures the baseline and optimized variants and extracts the
+// advisor's estimate for the expected optimizer.
+func (b *Benchmark) Run(ro RunOptions) (*Outcome, error) {
+	opts := ro.options()
+	baseK, baseWL, err := b.Base.Build()
+	if err != nil {
+		return nil, fmt.Errorf("%s: base: %w", b.ID(), err)
+	}
+	optK, optWL, err := b.Opt.Build()
+	if err != nil {
+		return nil, fmt.Errorf("%s: opt: %w", b.ID(), err)
+	}
+	baseOpts := *opts
+	baseOpts.Workload = baseWL
+	optOpts := *opts
+	optOpts.Workload = optWL
+	baseCycles, err := baseK.Measure(&baseOpts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: base measure: %w", b.ID(), err)
+	}
+	optCycles, err := optK.Measure(&optOpts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: opt measure: %w", b.ID(), err)
+	}
+	report, err := baseK.Advise(&baseOpts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: advise: %w", b.ID(), err)
+	}
+	out := &Outcome{
+		Bench:      b,
+		BaseCycles: baseCycles,
+		OptCycles:  optCycles,
+		Achieved:   float64(baseCycles) / float64(optCycles),
+		Report:     report,
+	}
+	for i, e := range report.Advice.Entries {
+		if e.Optimizer == b.Optimizer {
+			out.Estimated = e.Speedup
+			out.Rank = i + 1
+			break
+		}
+	}
+	if out.Achieved > 0 && out.Estimated > 0 {
+		out.Error = abs(out.Estimated-out.Achieved) / out.Achieved
+	}
+	return out, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+var registry []*Benchmark
+
+func register(b *Benchmark) { registry = append(registry, b) }
+
+// All returns every Table 3 benchmark in table order.
+func All() []*Benchmark {
+	out := append([]*Benchmark(nil), registry...)
+	return out
+}
+
+// Rodinia returns the rows included in Figure 7.
+func Rodinia() []*Benchmark {
+	var out []*Benchmark
+	seen := map[string]bool{}
+	for _, b := range registry {
+		if b.Rodinia && !seen[b.App] {
+			seen[b.App] = true
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].App < out[j].App })
+	return out
+}
+
+// Find locates a benchmark by app (and optional kernel/optimization
+// substrings).
+func Find(app string) []*Benchmark {
+	var out []*Benchmark
+	for _, b := range registry {
+		if b.App == app {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// GeoMean computes the geometric mean of a slice of positive ratios.
+func GeoMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vals)))
+}

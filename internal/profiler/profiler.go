@@ -1,0 +1,246 @@
+// Package profiler drives a simulated kernel launch with PC sampling
+// enabled and condenses the result into a serializable profile, playing
+// the role of GPA's runtime profiler: it records kernel launch
+// statistics (grid, block, occupancy, duration) plus per-PC sample
+// counters, attributed to functions by name and function-local PC so the
+// offline analyzers can join them with CUBIN-derived structure.
+package profiler
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"gpa/internal/arch"
+	"gpa/internal/gpusim"
+	"gpa/internal/sampling"
+	"gpa/internal/sass"
+)
+
+// Options configures a profiling run.
+type Options struct {
+	GPU *arch.GPU
+	// SamplePeriod in cycles; 0 uses 64.
+	SamplePeriod int
+	// BufferCap is the per-SM sample buffer capacity (0 uses the
+	// sampling default).
+	BufferCap int
+	// SimSMs bounds detailed SM simulation (0 uses the gpusim default).
+	SimSMs int
+	Seed   uint64
+}
+
+// StallCounts maps stall reason names to sample counts (JSON-friendly).
+type StallCounts map[string]int64
+
+// PCRecord is the per-instruction sample summary.
+type PCRecord struct {
+	Func string `json:"func"`
+	// PC is the function-local byte offset.
+	PC   uint32 `json:"pc"`
+	File string `json:"file,omitempty"`
+	Line int    `json:"line,omitempty"`
+
+	Total   int64 `json:"total"`
+	Active  int64 `json:"active"`
+	Latency int64 `json:"latency"`
+	// Issued is the exact dynamic issue count from the simulator (the
+	// inst_executed counter a real profiler reads).
+	Issued int64 `json:"issued"`
+
+	Stalls        StallCounts `json:"stalls,omitempty"`
+	LatencyStalls StallCounts `json:"latencyStalls,omitempty"`
+}
+
+// Profile is one kernel launch's measurement record.
+type Profile struct {
+	Kernel          string `json:"kernel"`
+	Arch            int    `json:"arch"`
+	Cycles          int64  `json:"cycles"`
+	Blocks          int    `json:"blocks"`
+	ThreadsPerBlock int    `json:"threadsPerBlock"`
+	ActiveSMs       int    `json:"activeSMs"`
+	NumSMs          int    `json:"numSMs"`
+	SchedulersPerSM int    `json:"schedulersPerSM"`
+	// WarpsPerScheduler is the resident-warp count per scheduler (the W
+	// of Equations 6-9).
+	WarpsPerScheduler int    `json:"warpsPerScheduler"`
+	OccupancyLimiter  string `json:"occupancyLimiter"`
+	SamplePeriod      int    `json:"samplePeriod"`
+	BufferFlushes     int    `json:"bufferFlushes"`
+
+	TotalSamples   int64 `json:"totalSamples"`
+	ActiveSamples  int64 `json:"activeSamples"`
+	LatencySamples int64 `json:"latencySamples"`
+	// IssueRatio is RI: issued samples / all samples.
+	IssueRatio float64 `json:"issueRatio"`
+
+	Records []PCRecord `json:"records"`
+}
+
+// Collect profiles one launch of the module's entry kernel.
+func Collect(mod *sass.Module, launch gpusim.LaunchConfig, wl gpusim.Workload, opts Options) (*Profile, error) {
+	if opts.GPU == nil {
+		g, err := arch.ByArchFlag(mod.Arch)
+		if err != nil {
+			return nil, fmt.Errorf("profiler: %w", err)
+		}
+		opts.GPU = g
+	}
+	period := opts.SamplePeriod
+	if period <= 0 {
+		period = 64
+	}
+	prog, err := gpusim.Load(mod)
+	if err != nil {
+		return nil, fmt.Errorf("profiler: %w", err)
+	}
+	buf := sampling.NewBuffer(opts.BufferCap)
+	res, err := gpusim.Run(prog, launch, wl, gpusim.Config{
+		GPU:          opts.GPU,
+		SimSMs:       opts.SimSMs,
+		SamplePeriod: period,
+		Sink:         buf,
+		Seed:         opts.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("profiler: %w", err)
+	}
+	samples := buf.Drain()
+	agg := sampling.AggregateSamples(samples, len(prog.Instrs))
+
+	p := &Profile{
+		Kernel:            launch.Entry,
+		Arch:              mod.Arch,
+		Cycles:            res.Cycles,
+		Blocks:            res.BlocksLaunched,
+		ThreadsPerBlock:   res.ThreadsPerBlock,
+		ActiveSMs:         res.ActiveSMs,
+		NumSMs:            opts.GPU.NumSMs,
+		SchedulersPerSM:   opts.GPU.SchedulersPerSM,
+		WarpsPerScheduler: res.WarpsPerScheduler,
+		OccupancyLimiter:  res.Occupancy.Limiter,
+		SamplePeriod:      period,
+		BufferFlushes:     buf.Flushes,
+		TotalSamples:      agg.Total,
+		ActiveSamples:     agg.Active,
+		LatencySamples:    agg.Latency,
+		IssueRatio:        agg.IssueRatio(),
+	}
+	for flat, st := range agg.PerPC {
+		if st.Total == 0 && res.IssuedPerPC[flat] == 0 {
+			continue
+		}
+		li := prog.LineAt(flat)
+		rec := PCRecord{
+			Func:    prog.FuncName(flat),
+			PC:      prog.LocalPC(flat),
+			File:    li.File,
+			Line:    li.Line,
+			Total:   st.Total,
+			Active:  st.Active,
+			Latency: st.Latency,
+			Issued:  res.IssuedPerPC[flat],
+		}
+		for r := gpusim.StallReason(1); r < gpusim.NumReasons; r++ {
+			if st.Stalls[r] > 0 {
+				if rec.Stalls == nil {
+					rec.Stalls = StallCounts{}
+				}
+				rec.Stalls[r.String()] = st.Stalls[r]
+			}
+			if st.LatencyStalls[r] > 0 {
+				if rec.LatencyStalls == nil {
+					rec.LatencyStalls = StallCounts{}
+				}
+				rec.LatencyStalls[r.String()] = st.LatencyStalls[r]
+			}
+		}
+		p.Records = append(p.Records, rec)
+	}
+	return p, nil
+}
+
+// Save writes the profile as JSON.
+func (p *Profile) Save(path string) error {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return fmt.Errorf("profiler: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadFile reads a profile written by Save.
+func LoadFile(path string) (*Profile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("profiler: %w", err)
+	}
+	var p Profile
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("profiler: %s: %w", path, err)
+	}
+	return &p, nil
+}
+
+// reasonByName resolves a stall reason name back to its enum value.
+var reasonByName = func() map[string]gpusim.StallReason {
+	m := map[string]gpusim.StallReason{}
+	for r := gpusim.StallReason(0); r < gpusim.NumReasons; r++ {
+		m[r.String()] = r
+	}
+	return m
+}()
+
+// FuncView is a dense per-function view of a profile, instruction index
+// aligned with the function's instruction array.
+type FuncView struct {
+	Fn     *sass.Function
+	Stats  []sampling.PCStats
+	Issued []int64
+}
+
+// FuncViews joins the profile's records against a module, producing one
+// dense view per function that has any samples.
+func (p *Profile) FuncViews(mod *sass.Module) (map[string]*FuncView, error) {
+	views := map[string]*FuncView{}
+	for _, rec := range p.Records {
+		v := views[rec.Func]
+		if v == nil {
+			fn := mod.Function(rec.Func)
+			if fn == nil {
+				return nil, fmt.Errorf("profiler: profile references unknown function %q", rec.Func)
+			}
+			v = &FuncView{
+				Fn:     fn,
+				Stats:  make([]sampling.PCStats, len(fn.Instrs)),
+				Issued: make([]int64, len(fn.Instrs)),
+			}
+			views[rec.Func] = v
+		}
+		idx := int(rec.PC) / sass.InstrBytes
+		if idx < 0 || idx >= len(v.Stats) {
+			return nil, fmt.Errorf("profiler: record pc 0x%x out of range for %q", rec.PC, rec.Func)
+		}
+		st := &v.Stats[idx]
+		st.Total += rec.Total
+		st.Active += rec.Active
+		st.Latency += rec.Latency
+		v.Issued[idx] += rec.Issued
+		for name, n := range rec.Stalls {
+			r, ok := reasonByName[name]
+			if !ok {
+				return nil, fmt.Errorf("profiler: unknown stall reason %q", name)
+			}
+			st.Stalls[r] += n
+		}
+		for name, n := range rec.LatencyStalls {
+			r, ok := reasonByName[name]
+			if !ok {
+				return nil, fmt.Errorf("profiler: unknown stall reason %q", name)
+			}
+			st.LatencyStalls[r] += n
+		}
+	}
+	return views, nil
+}

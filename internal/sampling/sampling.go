@@ -1,0 +1,165 @@
+// Package sampling implements the PC-sampling collection layer GPA's
+// profiler uses, mirroring CUPTI's behaviour (Section 2.1 of the paper):
+// each SM collects samples into its own fixed-size buffer, and when any
+// SM's buffer fills, samples from all SMs are merged and transferred to
+// the host. The package also aggregates raw samples into the per-PC
+// counters (total / active / latency samples and per-reason stalls) that
+// the dynamic analyzer consumes.
+package sampling
+
+import (
+	"sort"
+
+	"gpa/internal/gpusim"
+)
+
+// DefaultBufferCap is the default per-SM sample-buffer capacity.
+const DefaultBufferCap = 2048
+
+// Buffer is a gpusim.SampleSink with CUPTI-like per-SM buffering.
+type Buffer struct {
+	cap     int
+	perSM   map[int][]gpusim.Sample
+	host    []gpusim.Sample
+	Flushes int // number of full-buffer merge events
+}
+
+// NewBuffer returns a buffer with the given per-SM capacity (0 uses
+// DefaultBufferCap).
+func NewBuffer(capPerSM int) *Buffer {
+	if capPerSM <= 0 {
+		capPerSM = DefaultBufferCap
+	}
+	return &Buffer{cap: capPerSM, perSM: map[int][]gpusim.Sample{}}
+}
+
+// Record appends a sample to its SM's buffer, flushing all SMs to the
+// host when the buffer fills.
+func (b *Buffer) Record(s gpusim.Sample) {
+	buf := append(b.perSM[s.SM], s)
+	b.perSM[s.SM] = buf
+	if len(buf) >= b.cap {
+		b.flush()
+	}
+}
+
+func (b *Buffer) flush() {
+	b.Flushes++
+	sms := make([]int, 0, len(b.perSM))
+	for sm := range b.perSM {
+		sms = append(sms, sm)
+	}
+	sort.Ints(sms)
+	for _, sm := range sms {
+		b.host = append(b.host, b.perSM[sm]...)
+		b.perSM[sm] = b.perSM[sm][:0]
+	}
+}
+
+// Drain flushes any residual samples and returns everything collected.
+func (b *Buffer) Drain() []gpusim.Sample {
+	b.flush()
+	b.Flushes-- // the final drain is not a full-buffer event
+	return b.host
+}
+
+// PCStats aggregates the samples that landed on one PC.
+type PCStats struct {
+	// Total counts all samples at this PC.
+	Total int64
+	// Active counts samples whose scheduler issued that cycle AND whose
+	// sampled warp was the issuer ("selected"): the paper's issued
+	// samples, used by the blamer's issue-ratio heuristic.
+	Active int64
+	// Latency counts samples taken while the scheduler issued nothing.
+	Latency int64
+	// Stalls[r] counts samples carrying stall reason r (active or not):
+	// the paper's stall samples.
+	Stalls [gpusim.NumReasons]int64
+	// LatencyStalls[r] counts latency samples carrying reason r; the
+	// latency-hiding estimators consume these.
+	LatencyStalls [gpusim.NumReasons]int64
+}
+
+// StallTotal sums stall samples across dependency-class reasons only.
+func (s *PCStats) StallTotal() int64 {
+	var t int64
+	for r := gpusim.StallReason(1); r < gpusim.NumReasons; r++ {
+		t += s.Stalls[r]
+	}
+	return t
+}
+
+// Aggregate is the whole-kernel sample summary.
+type Aggregate struct {
+	// PerPC is indexed by flat instruction index.
+	PerPC []PCStats
+	// Totals over all samples.
+	Total, Active, Latency int64
+	// Stalls[r] counts all samples with reason r.
+	Stalls [gpusim.NumReasons]int64
+	// LatencyStalls[r] restricts to latency samples.
+	LatencyStalls [gpusim.NumReasons]int64
+}
+
+// IssueRatio returns RI, the per-warp issue-readiness ratio Equations 8
+// and 9 of the paper consume: the fraction of sampled warps that were
+// able to issue (they issued, or were ready but another warp was
+// selected). Equation 8 ("a warp scheduler is issuing if at least one
+// warp on the scheduler is ready") requires exactly this per-warp
+// readiness probability.
+func (a *Aggregate) IssueRatio() float64 {
+	if a.Total == 0 {
+		return 0
+	}
+	ready := a.Total - a.stallSampleCount() + a.Stalls[gpusim.ReasonNotSelected]
+	return float64(ready) / float64(a.Total)
+}
+
+func (a *Aggregate) stallSampleCount() int64 {
+	var t int64
+	for r := gpusim.StallReason(1); r < gpusim.NumReasons; r++ {
+		t += a.Stalls[r]
+	}
+	return t
+}
+
+// ActiveRatio returns the fraction of samples taken while the scheduler
+// was issuing (Figure 1's active ratio).
+func (a *Aggregate) ActiveRatio() float64 {
+	if a.Total == 0 {
+		return 0
+	}
+	return float64(a.Active) / float64(a.Total)
+}
+
+// Aggregate folds raw samples into per-PC counters; numPCs is the flat
+// program length.
+func AggregateSamples(samples []gpusim.Sample, numPCs int) *Aggregate {
+	a := &Aggregate{PerPC: make([]PCStats, numPCs)}
+	for _, s := range samples {
+		if s.PC < 0 || s.PC >= numPCs {
+			continue
+		}
+		st := &a.PerPC[s.PC]
+		st.Total++
+		a.Total++
+		if s.Active {
+			a.Active++
+		} else {
+			a.Latency++
+			st.Latency++
+		}
+		if s.Reason == gpusim.ReasonNone {
+			st.Active++
+		} else {
+			st.Stalls[s.Reason]++
+			a.Stalls[s.Reason]++
+			if !s.Active {
+				st.LatencyStalls[s.Reason]++
+				a.LatencyStalls[s.Reason]++
+			}
+		}
+	}
+	return a
+}

@@ -1,0 +1,170 @@
+package sass
+
+import (
+	"fmt"
+	"math"
+)
+
+// OperandKind discriminates the operand encodings.
+type OperandKind uint8
+
+// Operand kinds.
+const (
+	KindNone OperandKind = iota
+	// KindReg is a register operand.
+	KindReg
+	// KindImm is a 32-bit integer immediate (sign-extended at use).
+	KindImm
+	// KindFImm is a 32-bit float immediate.
+	KindFImm
+	// KindMem is a register-indirect memory reference "[Rn+0xOFF]"; the
+	// memory space comes from the opcode.
+	KindMem
+	// KindConst is a constant-bank reference "c[bank][offset]".
+	KindConst
+	// KindLabel is a code label used by branches and calls; the
+	// assembler resolves it to a PC.
+	KindLabel
+)
+
+// Operand is a single instruction operand.
+type Operand struct {
+	Kind OperandKind
+	Reg  Reg    // KindReg, and base register for KindMem
+	Imm  int32  // KindImm; float bits for KindFImm; offset for KindMem
+	Bank uint8  // KindConst
+	Off  uint16 // KindConst offset
+	Sym  string // KindLabel: label or function name
+	PC   uint32 // KindLabel: resolved target PC (byte address)
+}
+
+// Constructors.
+
+// RegOp returns a register operand.
+func RegOp(r Reg) Operand { return Operand{Kind: KindReg, Reg: r} }
+
+// ImmOp returns an integer immediate operand.
+func ImmOp(v int32) Operand { return Operand{Kind: KindImm, Imm: v} }
+
+// FImmOp returns a float immediate operand.
+func FImmOp(v float32) Operand {
+	return Operand{Kind: KindFImm, Imm: int32(math.Float32bits(v))}
+}
+
+// MemOp returns a register-indirect memory operand.
+func MemOp(base Reg, off int32) Operand {
+	return Operand{Kind: KindMem, Reg: base, Imm: off}
+}
+
+// ConstOp returns a constant-bank operand c[bank][off].
+func ConstOp(bank uint8, off uint16) Operand {
+	return Operand{Kind: KindConst, Bank: bank, Off: off}
+}
+
+// LabelOp returns an unresolved label operand.
+func LabelOp(sym string) Operand { return Operand{Kind: KindLabel, Sym: sym} }
+
+// Float returns the float32 value of a KindFImm operand.
+func (o Operand) Float() float32 { return math.Float32frombits(uint32(o.Imm)) }
+
+// String renders the operand in SASS syntax.
+func (o Operand) String() string {
+	switch o.Kind {
+	case KindNone:
+		return "<none>"
+	case KindReg:
+		return o.Reg.String()
+	case KindImm:
+		if o.Imm < 0 {
+			return fmt.Sprintf("-0x%x", uint32(-o.Imm))
+		}
+		return fmt.Sprintf("0x%x", uint32(o.Imm))
+	case KindFImm:
+		return fmt.Sprintf("%gf", o.Float())
+	case KindMem:
+		if o.Imm == 0 {
+			return fmt.Sprintf("[%s]", o.Reg)
+		}
+		if o.Imm < 0 {
+			return fmt.Sprintf("[%s-0x%x]", o.Reg, uint32(-o.Imm))
+		}
+		return fmt.Sprintf("[%s+0x%x]", o.Reg, uint32(o.Imm))
+	case KindConst:
+		return fmt.Sprintf("c[0x%x][0x%x]", o.Bank, o.Off)
+	case KindLabel:
+		if o.Sym != "" {
+			return o.Sym
+		}
+		return fmt.Sprintf("0x%x", o.PC)
+	}
+	return "<bad>"
+}
+
+// Control is the per-instruction scheduling control code (Section 2.2 of
+// the paper): stall cycles for fixed-latency producers, a yield hint, the
+// write/read barrier indices allocated by variable-latency instructions,
+// and the wait mask naming the barriers this instruction must wait on.
+type Control struct {
+	Stall uint8 // cycles the scheduler holds the warp after issue (0-15)
+	Yield bool
+	// WriteBar and ReadBar are barrier indices 0-5, or NoBarrier.
+	WriteBar int8
+	ReadBar  int8
+	// WaitMask bit i set means "wait until Bi is signalled before issue".
+	WaitMask uint8
+}
+
+// NoBarrier marks an unused barrier slot.
+const NoBarrier int8 = -1
+
+// DefaultControl is a neutral control code (1-cycle stall, no barriers).
+func DefaultControl() Control {
+	return Control{Stall: 1, WriteBar: NoBarrier, ReadBar: NoBarrier}
+}
+
+// Waits reports whether the wait mask includes barrier b.
+func (c Control) Waits(b int) bool { return c.WaitMask&(1<<uint(b)) != 0 }
+
+// String renders the control code in the assembler's brace syntax; a
+// neutral control code renders as the empty string.
+func (c Control) String() string {
+	s := ""
+	sep := func() {
+		if s != "" {
+			s += ", "
+		}
+	}
+	if c.Stall != 1 {
+		s += fmt.Sprintf("S:%d", c.Stall)
+	}
+	if c.Yield {
+		sep()
+		s += "Y"
+	}
+	if c.WriteBar != NoBarrier {
+		sep()
+		s += fmt.Sprintf("W:%d", c.WriteBar)
+	}
+	if c.ReadBar != NoBarrier {
+		sep()
+		s += fmt.Sprintf("R:%d", c.ReadBar)
+	}
+	if c.WaitMask != 0 {
+		sep()
+		s += "Q:"
+		first := true
+		for b := 0; b < NumBarriers; b++ {
+			if c.Waits(b) {
+				if !first {
+					s += "|"
+				}
+				s += fmt.Sprintf("%d", b)
+				first = false
+			}
+		}
+	}
+	if s == "" {
+		return ""
+	}
+	return "{" + s + "}"
+}
