@@ -15,6 +15,7 @@
 package gpa_test
 
 import (
+	"runtime"
 	"testing"
 
 	"gpa"
@@ -74,13 +75,32 @@ func pipelineFixture(b *testing.B) (*gpa.Kernel, *gpa.Options) {
 	return k, &gpa.Options{Workload: wl, Seed: 11, SimSMs: 1}
 }
 
+// BenchmarkPipelineSimulate measures the raw simulator: the historical
+// single-SM configuration plus the 4-SM configuration sequentially and
+// with concurrent SM execution (results are identical; only wall-clock
+// differs). SM4-seq vs SM4-par quantifies the worker-pool speedup
+// tracked in BENCH_*.json.
 func BenchmarkPipelineSimulate(b *testing.B) {
-	k, opts := pipelineFixture(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := k.Measure(opts); err != nil {
-			b.Fatal(err)
-		}
+	cases := []struct {
+		name                string
+		simSMs, parallelism int
+	}{
+		{"SM1", 1, 1},
+		{"SM4-seq", 4, 1},
+		{"SM4-par", 4, runtime.GOMAXPROCS(0)},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			k, opts := pipelineFixture(b)
+			opts.SimSMs = tc.simSMs
+			opts.Parallelism = tc.parallelism
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := k.Measure(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

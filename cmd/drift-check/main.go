@@ -1,0 +1,36 @@
+// Command drift-check prints a digest of simulator-visible behavior for
+// comparing builds: per-row measured cycles and a hash of the full
+// profile (sample counters included) for a few representative rows.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+
+	"gpa"
+	"gpa/internal/kernels"
+)
+
+func main() {
+	for _, b := range kernels.All() {
+		k, wl, err := b.Base.Build()
+		if err != nil {
+			panic(err)
+		}
+		opts := &gpa.Options{Workload: wl, Seed: 11, SimSMs: 4}
+		cycles, err := k.Measure(opts)
+		if err != nil {
+			panic(err)
+		}
+		prof, err := k.Profile(opts)
+		if err != nil {
+			panic(err)
+		}
+		data, err := json.Marshal(prof)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-60s cycles=%-10d profile=%x\n", b.ID(), cycles, func() []byte { h := sha256.Sum256(data); return h[:8] }())
+	}
+}

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"gpa"
+	"gpa/internal/kernels"
+)
+
+// benchSnapshot is the BENCH_*.json trajectory record: wall-clock cost
+// of each pipeline stage on this machine, so successive perf PRs can
+// track the simulator's speed over time.
+type benchSnapshot struct {
+	Schema     string `json:"schema"`
+	Generated  string `json:"generated"`
+	GoVersion  string `json:"goVersion"`
+	NumCPU     int    `json:"numCPU"`
+	GoMaxProcs int    `json:"goMaxProcs"`
+
+	Kernel       string `json:"kernel"`
+	SimSMs       int    `json:"simSMs"`
+	SamplePeriod int    `json:"samplePeriod"`
+	Seed         uint64 `json:"seed"`
+	Reps         int    `json:"reps"`
+
+	Stages []stageResult `json:"stages"`
+
+	// ParallelSpeedup is simulate_seq / simulate_par (concurrent SMs).
+	ParallelSpeedup float64 `json:"parallelSpeedup"`
+	// BaselineSimulateNs is an externally measured reference for the
+	// sequential simulate stage (e.g. the seed commit on the same
+	// machine), supplied via -bench-baseline-ns; 0 when not recorded.
+	BaselineSimulateNs float64 `json:"baselineSimulateNs,omitempty"`
+	// SpeedupVsBaseline is BaselineSimulateNs / simulate_seq ns/op.
+	SpeedupVsBaseline float64 `json:"speedupVsBaseline,omitempty"`
+}
+
+type stageResult struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"nsPerOp"`
+}
+
+// timeStage runs fn reps times and returns the mean ns/op.
+func timeStage(reps int, fn func() error) (float64, error) {
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if err := fn(); err != nil {
+			return 0, err
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(reps), nil
+}
+
+// runBenchSnapshot times the pipeline stages on the representative
+// rodinia/hotspot row at SimSMs=4 and writes the snapshot JSON.
+func runBenchSnapshot(path string, reps int, seed uint64, baselineNs float64) error {
+	if reps <= 0 {
+		reps = 1
+	}
+	rows := kernels.Find("rodinia/hotspot")
+	if len(rows) == 0 {
+		return fmt.Errorf("bench: no rodinia/hotspot row")
+	}
+	row := rows[0]
+	k, wl, err := row.Base.Build()
+	if err != nil {
+		return err
+	}
+	const simSMs = 4
+	seqOpts := &gpa.Options{Workload: wl, Seed: seed, SimSMs: simSMs, Parallelism: 1}
+	parOpts := &gpa.Options{Workload: wl, Seed: seed, SimSMs: simSMs, Parallelism: runtime.GOMAXPROCS(0)}
+
+	snap := &benchSnapshot{
+		Schema:       "gpa-bench-snapshot/1",
+		Generated:    time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		NumCPU:       runtime.NumCPU(),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		Kernel:       row.App + "/" + row.Kernel,
+		SimSMs:       simSMs,
+		SamplePeriod: 64,
+		Seed:         seed,
+		Reps:         reps,
+	}
+
+	prof, err := k.Profile(seqOpts)
+	if err != nil {
+		return err
+	}
+	stages := []struct {
+		name string
+		fn   func() error
+	}{
+		{"simulate_seq", func() error { _, err := k.Measure(seqOpts); return err }},
+		{"simulate_par", func() error { _, err := k.Measure(parOpts); return err }},
+		{"profile", func() error { _, err := k.Profile(seqOpts); return err }},
+		{"advise", func() error { _, err := k.AdviseFromProfile(prof, seqOpts); return err }},
+		{"row_seq", func() error {
+			_, err := row.Run(kernels.RunOptions{Seed: seed, SimSMs: simSMs})
+			return err
+		}},
+		{"row_par", func() error {
+			_, err := row.Run(kernels.RunOptions{Seed: seed, SimSMs: simSMs,
+				Parallel: true, Parallelism: runtime.GOMAXPROCS(0)})
+			return err
+		}},
+	}
+	byName := map[string]float64{}
+	for _, st := range stages {
+		ns, err := timeStage(reps, st.fn)
+		if err != nil {
+			return fmt.Errorf("bench: %s: %w", st.name, err)
+		}
+		byName[st.name] = ns
+		snap.Stages = append(snap.Stages, stageResult{Name: st.name, NsPerOp: ns})
+		fmt.Printf("bench: %-14s %14.0f ns/op\n", st.name, ns)
+	}
+	if byName["simulate_par"] > 0 {
+		snap.ParallelSpeedup = byName["simulate_seq"] / byName["simulate_par"]
+	}
+	if baselineNs > 0 {
+		snap.BaselineSimulateNs = baselineNs
+		snap.SpeedupVsBaseline = baselineNs / byName["simulate_seq"]
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// table3JSON is the -json serialization of a Table 3 sweep.
+type table3JSON struct {
+	Seed uint64          `json:"seed"`
+	Rows []table3RowJSON `json:"rows"`
+	// Geomeans over all rows.
+	GeomeanAchieved  float64 `json:"geomeanAchieved"`
+	GeomeanEstimated float64 `json:"geomeanEstimated"`
+	MeanError        float64 `json:"meanError"`
+}
+
+type table3RowJSON struct {
+	App            string  `json:"app"`
+	Kernel         string  `json:"kernel"`
+	Optimization   string  `json:"optimization"`
+	Achieved       float64 `json:"achieved"`
+	PaperAchieved  float64 `json:"paperAchieved"`
+	Estimated      float64 `json:"estimated"`
+	PaperEstimated float64 `json:"paperEstimated"`
+	Error          float64 `json:"error"`
+	Rank           int     `json:"rank"`
+	BaseCycles     int64   `json:"baseCycles"`
+	OptCycles      int64   `json:"optCycles"`
+}
+
+func writeTable3JSON(path string, seed uint64, rows []*kernels.Benchmark, outs []*kernels.Outcome) error {
+	doc := table3JSON{Seed: seed}
+	var achieved, estimated []float64
+	var errSum float64
+	for i, b := range rows {
+		out := outs[i]
+		doc.Rows = append(doc.Rows, table3RowJSON{
+			App: b.App, Kernel: b.Kernel, Optimization: b.Optimization,
+			Achieved: out.Achieved, PaperAchieved: b.PaperAchieved,
+			Estimated: out.Estimated, PaperEstimated: b.PaperEstimated,
+			Error: out.Error, Rank: out.Rank,
+			BaseCycles: out.BaseCycles, OptCycles: out.OptCycles,
+		})
+		achieved = append(achieved, out.Achieved)
+		estimated = append(estimated, out.Estimated)
+		errSum += out.Error
+	}
+	doc.GeomeanAchieved = kernels.GeoMean(achieved)
+	doc.GeomeanEstimated = kernels.GeoMean(estimated)
+	if len(rows) > 0 {
+		doc.MeanError = errSum / float64(len(rows))
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

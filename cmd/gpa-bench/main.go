@@ -11,6 +11,15 @@
 //	                           PeleC, and Minimod walkthroughs with
 //	                           their advice reports.
 //	gpa-bench -all             Everything.
+//	gpa-bench -bench FILE      Time the pipeline stages (simulate with
+//	                           sequential and parallel SMs, profile,
+//	                           advise, full row) and write a BENCH_*.json
+//	                           trajectory snapshot.
+//
+// Cross-cutting flags: -parallel runs row sweeps and per-row
+// measurements concurrently (output is unchanged — the simulator is
+// deterministic at every parallelism level), -json FILE writes Table 3
+// outcomes as JSON, -cpuprofile FILE captures a pprof profile.
 //
 // Absolute numbers come from the simulator, not the authors' hardware;
 // the reproduced claims are the shapes (see EXPERIMENTS.md).
@@ -20,10 +29,23 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"gpa/internal/kernels"
+	"gpa/internal/par"
 )
+
+// sweepConfig carries the cross-cutting run options.
+type sweepConfig struct {
+	seed     uint64
+	parallel bool
+}
+
+func (c sweepConfig) runOptions() kernels.RunOptions {
+	return kernels.RunOptions{Seed: c.seed, Parallel: c.parallel}
+}
 
 func main() {
 	table3 := flag.Bool("table3", false, "regenerate Table 3")
@@ -31,48 +53,101 @@ func main() {
 	cases := flag.Bool("case-studies", false, "run the Section 7 case studies")
 	all := flag.Bool("all", false, "run everything")
 	seed := flag.Uint64("seed", 11, "simulation seed")
+	parallel := flag.Bool("parallel", false,
+		"run benchmark rows and per-row measurements concurrently (same output)")
+	jsonOut := flag.String("json", "", "write Table 3 outcomes as JSON to `file`")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
+	benchOut := flag.String("bench", "", "time the pipeline stages and write a BENCH_*.json snapshot to `file`")
+	benchReps := flag.Int("bench-reps", 10, "repetitions per stage for -bench")
+	baselineNs := flag.Float64("bench-baseline-ns", 0,
+		"externally measured reference ns/op for the sequential simulate stage (e.g. the seed commit), recorded in the -bench snapshot")
 	flag.Parse()
 	if *all {
 		*table3, *fig7, *cases = true, true, true
 	}
-	if !*table3 && !*fig7 && !*cases {
+	if *jsonOut != "" && !*table3 {
+		fail(fmt.Errorf("-json records the Table 3 sweep; combine it with -table3 or -all"))
+	}
+	if !*table3 && !*fig7 && !*cases && *benchOut == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	cfg := sweepConfig{seed: *seed, parallel: *parallel}
 	if *table3 {
-		if err := runTable3(*seed); err != nil {
+		if err := runTable3(cfg, *jsonOut); err != nil {
 			fail(err)
 		}
 	}
 	if *fig7 {
-		if err := runFigure7(*seed); err != nil {
+		if err := runFigure7(cfg); err != nil {
 			fail(err)
 		}
 	}
 	if *cases {
-		if err := runCaseStudies(*seed); err != nil {
+		if err := runCaseStudies(cfg); err != nil {
+			fail(err)
+		}
+	}
+	if *benchOut != "" {
+		if err := runBenchSnapshot(*benchOut, *benchReps, *seed, *baselineNs); err != nil {
 			fail(err)
 		}
 	}
 }
 
 func fail(err error) {
+	// os.Exit skips deferred cleanup; flush any active CPU profile so
+	// -cpuprofile output stays usable on error paths.
+	pprof.StopCPUProfile()
 	fmt.Fprintln(os.Stderr, "gpa-bench:", err)
 	os.Exit(1)
 }
 
-func runTable3(seed uint64) error {
+// sweep runs every benchmark in rows, concurrently when cfg.parallel is
+// set, preserving row order in the returned slice.
+func sweep(rows []*kernels.Benchmark, cfg sweepConfig) ([]*kernels.Outcome, error) {
+	outs := make([]*kernels.Outcome, len(rows))
+	errs := make([]error, len(rows))
+	workers := 1
+	if cfg.parallel {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	par.Do(len(rows), workers, func(i int) {
+		outs[i], errs[i] = rows[i].Run(cfg.runOptions())
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outs, nil
+}
+
+func runTable3(cfg sweepConfig, jsonOut string) error {
+	rows := kernels.All()
+	outs, err := sweep(rows, cfg)
+	if err != nil {
+		return err
+	}
 	fmt.Println("Table 3. Achieved and estimated speedups per benchmark")
 	fmt.Println(strings.Repeat("=", 132))
 	fmt.Printf("%-24s %-26s %-30s %9s %9s %9s %9s %6s %5s\n",
 		"Application", "Kernel", "Optimization",
 		"Achieved", "(paper)", "Estimated", "(paper)", "Error", "Rank")
 	var achieved, estimated, errors []float64
-	for _, b := range kernels.All() {
-		out, err := b.Run(kernels.RunOptions{Seed: seed})
-		if err != nil {
-			return err
-		}
+	for i, b := range rows {
+		out := outs[i]
 		fmt.Printf("%-24s %-26s %-30s %8.2fx %8.2fx %8.2fx %8.2fx %5.0f%% %5d\n",
 			b.App, b.Kernel, b.Optimization,
 			out.Achieved, b.PaperAchieved,
@@ -93,15 +168,21 @@ func runTable3(seed uint64) error {
 		kernels.GeoMean(estimated), 1.26,
 		errSum/float64(len(errors))*100)
 	fmt.Println()
+	if jsonOut != "" {
+		if err := writeTable3JSON(jsonOut, cfg.seed, rows, outs); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonOut)
+	}
 	return nil
 }
 
-func runFigure7(seed uint64) error {
+func runFigure7(cfg sweepConfig) error {
 	fmt.Println("Figure 7. Single dependency coverage before and after pruning cold edges")
 	fmt.Println(strings.Repeat("=", 72))
 	fmt.Printf("%-26s %10s %10s   %s\n", "Benchmark", "Before", "After", "")
 	for _, b := range kernels.Rodinia() {
-		before, after, err := kernels.Coverage(b, kernels.RunOptions{Seed: seed})
+		before, after, err := kernels.Coverage(b, cfg.runOptions())
 		if err != nil {
 			return err
 		}
@@ -112,14 +193,16 @@ func runFigure7(seed uint64) error {
 	return nil
 }
 
-func runCaseStudies(seed uint64) error {
+func runCaseStudies(cfg sweepConfig) error {
 	for _, app := range []string{"ExaTENSOR", "Quicksilver", "PeleC", "Minimod"} {
 		fmt.Printf("Case study: %s\n%s\n", app, strings.Repeat("=", 60))
-		for _, b := range kernels.Find(app) {
-			out, err := b.Run(kernels.RunOptions{Seed: seed})
-			if err != nil {
-				return err
-			}
+		rows := kernels.Find(app)
+		outs, err := sweep(rows, cfg)
+		if err != nil {
+			return err
+		}
+		for i, b := range rows {
+			out := outs[i]
 			fmt.Printf("\n--- %s / %s: applying %q ---\n", b.App, b.Kernel, b.Optimization)
 			fmt.Printf("achieved %.2fx (paper %.2fx), estimated %.2fx (paper %.2fx)\n",
 				out.Achieved, b.PaperAchieved, out.Estimated, b.PaperEstimated)

@@ -11,6 +11,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"math"
 
 	"gpa"
 )
@@ -93,12 +94,6 @@ func main() {
 
 	achieved := float64(baseCycles) / float64(optCycles)
 	fmt.Printf("\nachieved %.2fx vs estimated %.2fx (error %.0f%%)\n",
-		achieved, estimated, 100*abs(estimated-achieved)/achieved)
+		achieved, estimated, 100*math.Abs(estimated-achieved)/achieved)
 }
 
-func abs(v float64) float64 {
-	if v < 0 {
-		return -v
-	}
-	return v
-}

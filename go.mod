@@ -1,0 +1,3 @@
+module gpa
+
+go 1.24

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"gpa/internal/arch"
 	"gpa/internal/blamer"
@@ -76,6 +77,14 @@ type Options struct {
 	SamplePeriod int
 	// SimSMs bounds detailed SM simulation (0 = 4).
 	SimSMs int
+	// Parallelism bounds how many SMs are simulated concurrently
+	// (0 = GOMAXPROCS). Results are bit-identical at every level; with
+	// Parallelism > 1 the Workload must be safe for concurrent use.
+	// WorkloadSpec binding is itself read-only, but the callback
+	// closures a spec carries (TripFunc, Taken, Latency) are invoked
+	// concurrently too and must not mutate shared state — set
+	// Parallelism to 1 to keep the old single-goroutine contract.
+	Parallelism int
 	// Seed perturbs the simulator's deterministic latency jitter.
 	Seed uint64
 	// Blamer toggles pruning/apportioning heuristics (zero value =
@@ -108,6 +117,22 @@ func UniformTrips(n int) TripFunc { return gpusim.UniformTrips(n) }
 type Kernel struct {
 	Module *sass.Module
 	Launch Launch
+
+	// prog caches the flattened program so repeated Measure/Profile
+	// calls skip re-loading the module. Guarded by progOnce; the Module
+	// must not be mutated after the first simulation.
+	prog     *gpusim.Program
+	progErr  error
+	progOnce sync.Once
+}
+
+// program returns the kernel's flattened program, loading it on first
+// use.
+func (k *Kernel) program() (*gpusim.Program, error) {
+	k.progOnce.Do(func() {
+		k.prog, k.progErr = gpusim.Load(k.Module)
+	})
+	return k.prog, k.progErr
 }
 
 // LoadKernelAsm assembles SASS text into a kernel.
@@ -146,7 +171,7 @@ func (k *Kernel) SaveBinary() ([]byte, error) { return cubin.Pack(k.Module) }
 
 // BindWorkload resolves a declarative workload spec against the kernel.
 func (k *Kernel) BindWorkload(spec *WorkloadSpec) (Workload, error) {
-	prog, err := gpusim.Load(k.Module)
+	prog, err := k.program()
 	if err != nil {
 		return nil, err
 	}
@@ -156,11 +181,16 @@ func (k *Kernel) BindWorkload(spec *WorkloadSpec) (Workload, error) {
 // Profile simulates one launch with PC sampling and returns the profile.
 func (k *Kernel) Profile(opts *Options) (*profiler.Profile, error) {
 	o := normalize(opts)
-	return profiler.Collect(k.Module, k.Launch.config(), o.Workload, profiler.Options{
+	prog, err := k.program()
+	if err != nil {
+		return nil, err
+	}
+	return profiler.CollectProgram(prog, k.Launch.config(), o.Workload, profiler.Options{
 		GPU:          o.GPU,
 		SamplePeriod: o.SamplePeriod,
 		SimSMs:       o.SimSMs,
 		Seed:         o.Seed,
+		Parallelism:  o.Parallelism,
 	})
 }
 
@@ -168,15 +198,16 @@ func (k *Kernel) Profile(opts *Options) (*profiler.Profile, error) {
 // duration in cycles (used to measure achieved speedups).
 func (k *Kernel) Measure(opts *Options) (int64, error) {
 	o := normalize(opts)
-	prog, err := gpusim.Load(k.Module)
+	prog, err := k.program()
 	if err != nil {
 		return 0, err
 	}
 	wl := o.Workload
 	res, err := gpusim.Run(prog, k.Launch.config(), wl, gpusim.Config{
-		GPU:    o.GPU,
-		SimSMs: o.SimSMs,
-		Seed:   o.Seed,
+		GPU:         o.GPU,
+		SimSMs:      o.SimSMs,
+		Seed:        o.Seed,
+		Parallelism: o.Parallelism,
 	})
 	if err != nil {
 		return 0, err

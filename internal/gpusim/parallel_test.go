@@ -1,0 +1,131 @@
+package gpusim
+
+import (
+	"reflect"
+	"testing"
+
+	"gpa/internal/arch"
+	"gpa/internal/sass"
+)
+
+// TestParallelMatchesSequential: Run with Parallelism 1 and N must
+// produce identical Result fields and identical ordered sample streams
+// for the same seed, across kernels exercising memory, synchronization,
+// and multi-wave block rotation.
+func TestParallelMatchesSequential(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		launch LaunchConfig
+		spec   *Spec
+	}{
+		{
+			name:   "membound",
+			src:    memBoundSrc,
+			launch: LaunchConfig{Entry: "membound", Grid: Dim(16), Block: Dim(256), RegsPerThread: 16},
+			spec:   &Spec{Trips: map[Site]TripFunc{{"membound", "BR0"}: UniformTrips(40)}},
+		},
+		{
+			name:   "syncy",
+			src:    syncSrc,
+			launch: LaunchConfig{Entry: "syncy", Grid: Dim(8), Block: Dim(256), RegsPerThread: 16},
+			spec: &Spec{Trips: map[Site]TripFunc{{"syncy", "BR0"}: func(w WarpCtx) int {
+				if w.WarpInBlock%2 == 1 {
+					return 90
+				}
+				return 30
+			}}},
+		},
+		{
+			name: "waves",
+			src:  memBoundSrc,
+			launch: LaunchConfig{Entry: "membound", Grid: Dim(24), Block: Dim(512),
+				RegsPerThread: 16, SharedMemPerBlock: 32 * 1024},
+			spec: &Spec{
+				Trips:        map[Site]TripFunc{{"membound", "BR0"}: UniformTrips(20)},
+				Transactions: map[Site]int{{"membound", "LOOP"}: 8},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := sass.MustAssemble(tc.src)
+			p, err := Load(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wl, err := tc.spec.Bind(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func(parallelism int) (*Result, []Sample) {
+				t.Helper()
+				sink := &captureSink{}
+				g := arch.VoltaV100()
+				g.NumSMs = 4 // spread blocks over all simulated SMs
+				res, err := Run(p, tc.launch, wl, Config{
+					GPU: g, SimSMs: 4, SamplePeriod: 32, Sink: sink,
+					Seed: 7, Parallelism: parallelism,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res, sink.samples
+			}
+			seqRes, seqSamples := run(1)
+			for _, par := range []int{2, 4, 8} {
+				parRes, parSamples := run(par)
+				if !reflect.DeepEqual(seqRes, parRes) {
+					t.Errorf("Parallelism=%d result differs:\nseq: %+v\npar: %+v", par, seqRes, parRes)
+				}
+				if len(seqSamples) != len(parSamples) {
+					t.Fatalf("Parallelism=%d sample counts differ: %d vs %d",
+						par, len(seqSamples), len(parSamples))
+				}
+				for i := range seqSamples {
+					if seqSamples[i] != parSamples[i] {
+						t.Fatalf("Parallelism=%d sample %d differs: %+v vs %+v",
+							par, i, seqSamples[i], parSamples[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelErrorMatchesSequential: an erroring SM must surface the
+// same error regardless of parallelism (the first failing SM in order).
+func TestParallelErrorMatchesSequential(t *testing.T) {
+	// An infinite loop trips the MaxCycles livelock guard.
+	src := `
+.func spin global
+LOOP:
+	IADD R0, R0, 0x1 {S:4}
+BR0:	BRA LOOP {S:5}
+	EXIT
+`
+	m := sass.MustAssemble(src)
+	p, err := Load(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	launch := LaunchConfig{Entry: "spin", Grid: Dim(8), Block: Dim(64), RegsPerThread: 16}
+	run := func(parallelism int) error {
+		g := arch.VoltaV100()
+		g.NumSMs = 4
+		_, err := Run(p, launch, NopWorkload{}, Config{
+			GPU: g, SimSMs: 4, MaxCycles: 10_000, Seed: 1, Parallelism: parallelism,
+		})
+		return err
+	}
+	seqErr := run(1)
+	if seqErr == nil {
+		t.Fatal("expected livelock error")
+	}
+	for _, par := range []int{2, 4} {
+		parErr := run(par)
+		if parErr == nil || parErr.Error() != seqErr.Error() {
+			t.Errorf("Parallelism=%d error = %v, want %v", par, parErr, seqErr)
+		}
+	}
+}

@@ -35,6 +35,67 @@ type Program struct {
 	// target[i] is the flat target index of a control transfer at i
 	// (-1 when not a transfer or target unresolved).
 	target []int
+	// meta[i] is the hot-path metadata of instruction i, precomputed so
+	// the per-cycle scheduler loops never re-decode opcodes or control
+	// bits (see instrMeta).
+	meta []instrMeta
+}
+
+// instrMeta flattens the per-instruction facts the simulator's issue and
+// readiness paths consult every cycle: opcode class, control-code fields,
+// and the stall-reason classifications that otherwise require Opcode.Info
+// calls and switch chains per access.
+type instrMeta struct {
+	waitMask uint8
+	stall    uint8
+	writeBar int8
+	readBar  int8
+	class    sass.ExecClass
+	flags    uint8
+	// barReason is the stall reason consumers waiting on this
+	// instruction's write barrier report (barrierReasonFor).
+	barReason StallReason
+	// issueStall is the reason reported while the post-issue stall-count
+	// window is pending.
+	issueStall StallReason
+}
+
+// instrMeta flag bits.
+const (
+	metaVarLat   = 1 << iota // variable latency (barrier-signalled)
+	metaNeedMSHR             // memory op consuming MSHR slots
+	metaMemory               // any memory-space access
+	metaControl              // control transfer
+)
+
+func buildMeta(in *sass.Instruction) instrMeta {
+	info := in.Opcode.Info()
+	m := instrMeta{
+		waitMask: in.Ctrl.WaitMask,
+		stall:    in.Ctrl.Stall,
+		writeBar: int8(in.Ctrl.WriteBar),
+		readBar:  int8(in.Ctrl.ReadBar),
+		class:    info.Class,
+	}
+	if info.VariableLatency {
+		m.flags |= metaVarLat
+	}
+	if in.Opcode.IsMemory() {
+		m.flags |= metaMemory
+	}
+	if spaceNeedsMSHR(in.Opcode) {
+		m.flags |= metaNeedMSHR
+	}
+	if in.Opcode.IsControl() {
+		m.flags |= metaControl
+	}
+	m.barReason = barrierReasonFor(in.Opcode)
+	if in.Ctrl.Stall > 2 && !in.Opcode.IsControl() {
+		m.issueStall = ReasonExecutionDependency
+	} else {
+		m.issueStall = ReasonOther
+	}
+	return m
 }
 
 // Load flattens a module. Call targets must name functions present in
@@ -80,6 +141,10 @@ func Load(m *sass.Module) (*Program, error) {
 			return nil, fmt.Errorf("gpusim: %s: branch target out of function", f.Name)
 		}
 		p.target[i] = p.Base[fi] + local
+	}
+	p.meta = make([]instrMeta, len(p.Instrs))
+	for i := range p.Instrs {
+		p.meta[i] = buildMeta(&p.Instrs[i])
 	}
 	return p, nil
 }

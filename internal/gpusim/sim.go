@@ -2,8 +2,10 @@ package gpusim
 
 import (
 	"fmt"
+	"runtime"
 
 	"gpa/internal/arch"
+	"gpa/internal/par"
 )
 
 // Dim3 is a CUDA-style launch dimension.
@@ -50,6 +52,14 @@ type Config struct {
 	Seed uint64
 	// MaxCycles aborts runaway simulations (0 means 50M).
 	MaxCycles int64
+	// Parallelism bounds how many SMs are simulated concurrently
+	// (0 means GOMAXPROCS). Each SM is independent, so results and the
+	// ordered sample stream delivered to Sink are identical for every
+	// parallelism level. With Parallelism > 1 the Workload must be safe
+	// for concurrent use: Spec binding is read-only, but the callback
+	// closures a spec carries are invoked concurrently too and must not
+	// mutate shared state. Set 1 for the single-goroutine contract.
+	Parallelism int
 }
 
 // Result summarizes one simulated launch.
@@ -134,27 +144,114 @@ func Run(p *Program, launch LaunchConfig, wl Workload, cfg Config) (*Result, err
 	if res.WarpsPerScheduler < 1 {
 		res.WarpsPerScheduler = 1
 	}
-	for smID := 0; smID < simSMs; smID++ {
-		// SM k runs grid blocks k, k+NumSMs, k+2*NumSMs, ...
-		var myBlocks []int
-		for b := smID; b < blocks; b += cfg.GPU.NumSMs {
-			myBlocks = append(myBlocks, b)
+	rt := buildRunTables(p, wl, cfg.GPU)
+	parallelism := cfg.Parallelism
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > simSMs {
+		parallelism = simSMs
+	}
+
+	if parallelism <= 1 {
+		// Sequential mode: SMs run in order and record straight into the
+		// configured sink.
+		for smID := 0; smID < simSMs; smID++ {
+			myBlocks := blocksForSM(smID, blocks, cfg.GPU.NumSMs)
+			if len(myBlocks) == 0 {
+				continue
+			}
+			sm := newSM(smID, p, rt, wl, cfg, launch, occ, entry, myBlocks, warpsPerBlock, cfg.Sink)
+			cycles, err := sm.run(maxCycles)
+			if err != nil {
+				return nil, err
+			}
+			mergeSM(res, cycles, sm.issuedPerPC)
 		}
+		return res, nil
+	}
+
+	// Parallel mode: fan SMs out over a bounded worker pool. Each SM
+	// records into a private buffered sink; after the join the buffers
+	// are drained in SM order, so the stream delivered to cfg.Sink is
+	// byte-identical to sequential mode.
+	type smOutcome struct {
+		cycles  int64
+		issued  []int64
+		samples []Sample
+		err     error
+	}
+	outcomes := make([]smOutcome, simSMs)
+	par.Do(simSMs, parallelism, func(smID int) {
+		myBlocks := blocksForSM(smID, blocks, cfg.GPU.NumSMs)
 		if len(myBlocks) == 0 {
-			continue
+			return
 		}
-		sm := newSM(smID, p, wl, cfg, launch, occ, entry, myBlocks, warpsPerBlock)
-		cycles, err := sm.run(maxCycles)
-		if err != nil {
-			return nil, err
+		out := &outcomes[smID]
+		var sink SampleSink
+		var buf *sliceSink
+		if cfg.Sink != nil {
+			buf = &sliceSink{}
+			sink = buf
 		}
-		if cycles > res.Cycles {
-			res.Cycles = cycles
+		sm := newSM(smID, p, rt, wl, cfg, launch, occ, entry, myBlocks, warpsPerBlock, sink)
+		out.cycles, out.err = sm.run(maxCycles)
+		out.issued = sm.issuedPerPC
+		if buf != nil {
+			out.samples = buf.samples
 		}
-		for pc, n := range sm.issuedPerPC {
-			res.IssuedPerPC[pc] += n
-			res.TotalIssued += n
+	})
+	for smID := 0; smID < simSMs; smID++ {
+		out := &outcomes[smID]
+		// Replay the SM's stream before checking its error: a failing
+		// SM records its partial stream in sequential mode too, and SMs
+		// after the first failure are dropped entirely, exactly as if
+		// they had never run.
+		if cfg.Sink != nil {
+			for _, s := range out.samples {
+				cfg.Sink.Record(s)
+			}
+		}
+		if out.err != nil {
+			// Matches sequential mode, which fails on the first SM in
+			// order that errors.
+			return nil, out.err
+		}
+		if out.issued != nil {
+			mergeSM(res, out.cycles, out.issued)
 		}
 	}
 	return res, nil
 }
+
+// blocksForSM lists the grid blocks SM smID executes: blocks smID,
+// smID+NumSMs, smID+2*NumSMs, ...
+func blocksForSM(smID, blocks, numSMs int) []int {
+	if smID >= blocks {
+		return nil
+	}
+	n := (blocks - smID + numSMs - 1) / numSMs
+	out := make([]int, 0, n)
+	for b := smID; b < blocks; b += numSMs {
+		out = append(out, b)
+	}
+	return out
+}
+
+// mergeSM folds one SM's completion cycle and issue counts into the
+// kernel result (order-independent: sums and a max).
+func mergeSM(res *Result, cycles int64, issuedPerPC []int64) {
+	if cycles > res.Cycles {
+		res.Cycles = cycles
+	}
+	for pc, n := range issuedPerPC {
+		res.IssuedPerPC[pc] += n
+		res.TotalIssued += n
+	}
+}
+
+// sliceSink buffers one SM's samples for in-order replay after a
+// parallel run joins.
+type sliceSink struct{ samples []Sample }
+
+func (b *sliceSink) Record(s Sample) { b.samples = append(b.samples, s) }

@@ -2,6 +2,7 @@ package gpusim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"gpa/internal/arch"
 	"gpa/internal/sass"
@@ -18,6 +19,9 @@ const blockLaunchOverhead = 25
 // instruction-cache miss.
 const fetchSerializeCycles = 24
 
+// farFuture is the sentinel "no event scheduled" cycle.
+const farFuture = int64(1<<62 - 1)
+
 type warpState struct {
 	ctx        WarpCtx
 	slot       int // block slot index
@@ -30,7 +34,16 @@ type warpState struct {
 	fetchReady int64
 	barReady   [sass.NumBarriers]int64
 	barReason  [sass.NumBarriers]StallReason
-	visits     map[int]int
+	// visits[pc] counts dynamic executions of branch/variable-latency
+	// instructions, indexed by flat PC (flattened from a map: the
+	// per-issue lookup is on the hot path).
+	visits []int32
+	// bound caches the warp's earliest possible issue cycle, valid while
+	// boundGen matches sm.wakeGen (a warp's gates change only through
+	// its own issue or an asynchronous wake, both of which refresh or
+	// invalidate the cache).
+	bound    int64
+	boundGen uint64
 	// lastIssuedPC / lastIssueCycle feed active "selected" samples.
 	lastIssuedPC   int
 	lastIssueCycle int64
@@ -48,6 +61,11 @@ type scheduler struct {
 	rotate    int   // LRR issue pointer
 	samplePtr int   // round-robin sampled-warp pointer
 	issuedNow bool  // issued at the current cycle
+	// nextReady is a lower bound on the next cycle any resident warp
+	// could issue, letting the run loop skip fruitless full-warp scans.
+	// 0 forces a scan; events that can wake warps asynchronously (MSHR
+	// release, barrier release, block rotation) reset it.
+	nextReady int64
 	// unitBusy models per-partition execution-unit throughput: each
 	// scheduler owns its FP32/INT/FP64/SFU pipes on Volta.
 	unitBusy [16]int64 // per exec class
@@ -58,9 +76,72 @@ type mshrRelease struct {
 	count int
 }
 
+// runTables holds per-run, per-PC tables shared read-only by every SM of
+// one Run call: GPU-dependent issue costs and default memory latencies,
+// and workload-dependent transaction counts. Precomputing them once per
+// run keeps Opcode.Info, latency switches, and Workload.Transactions
+// calls off the per-cycle path.
+type runTables struct {
+	issueCost []int64 // per PC: scheduler dispatch occupancy
+	baseLat   []int64 // per PC: default variable-latency base (0 = fixed)
+	tx        []int32 // per PC: max(1, workload transactions)
+}
+
+func buildRunTables(p *Program, wl Workload, g *arch.GPU) *runTables {
+	n := len(p.Instrs)
+	rt := &runTables{
+		issueCost: make([]int64, n),
+		baseLat:   make([]int64, n),
+		tx:        make([]int32, n),
+	}
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		rt.issueCost[i] = int64(g.IssueCost(in.Opcode))
+		rt.tx[i] = 1
+		// Transactions is only defined for memory instructions; the
+		// simulator also consults it for other variable-latency ops
+		// (their issue path always has).
+		if p.meta[i].flags&(metaMemory|metaVarLat) != 0 {
+			rt.tx[i] = int32(max(1, wl.Transactions(i)))
+		}
+		if p.meta[i].flags&metaVarLat == 0 {
+			continue
+		}
+		var base int
+		switch p.meta[i].class {
+		case sass.ClassMemGlobal, sass.ClassMemGeneric:
+			base = g.GlobalLatency
+			if in.Opcode == sass.OpATOM || in.Opcode == sass.OpRED {
+				base = g.AtomicLatency
+			}
+		case sass.ClassMemLocal:
+			base = g.LocalLatency
+		case sass.ClassMemShared:
+			base = g.SharedLatency
+		case sass.ClassMemConst:
+			base = g.ConstLatency
+		case sass.ClassMUFU:
+			base = 24
+			if in.Opcode == sass.OpIDIV {
+				base = 52
+			}
+		default:
+			if in.Opcode == sass.OpS2R {
+				base = 20
+			} else {
+				base = 16
+			}
+		}
+		rt.baseLat[i] = int64(base)
+	}
+	return rt
+}
+
 type sm struct {
 	id     int
 	p      *Program
+	meta   []instrMeta
+	rt     *runTables
 	wl     Workload
 	gpu    *arch.GPU
 	cfg    Config
@@ -76,9 +157,15 @@ type sm struct {
 
 	mshrFree int
 	releases []mshrRelease
+	// minRelease caches the earliest pending MSHR release cycle so the
+	// run loop only compacts the release list when one is actually due.
+	minRelease int64
 
-	icache    map[int]int64 // line -> last use cycle
-	icacheCap int
+	// icacheUse[line] is the line's last-use cycle (-1 = not resident);
+	// flattened from a map since lines are dense and few.
+	icacheUse      []int64
+	icacheResident int
+	icacheCap      int
 	// fetchBusy serializes instruction-cache miss handling: the fetch
 	// unit services one miss at a time.
 	fetchBusy int64
@@ -86,19 +173,29 @@ type sm struct {
 	issuedPerPC []int64
 	warpsPerBlk int
 	tick        int64 // sampling tick counter
+	sink        SampleSink
+	// wakeGen increments on every wakeAll, letting the scheduler scan
+	// detect that an issue's side effects (barrier release, block
+	// rotation) invalidated bounds computed earlier in the same scan.
+	wakeGen uint64
 }
 
-func newSM(id int, p *Program, wl Workload, cfg Config, launch LaunchConfig,
-	occ arch.Occupancy, entry int, blocks []int, warpsPerBlock int) *sm {
+func newSM(id int, p *Program, rt *runTables, wl Workload, cfg Config, launch LaunchConfig,
+	occ arch.Occupancy, entry int, blocks []int, warpsPerBlock int, sink SampleSink) *sm {
 	s := &sm{
-		id: id, p: p, wl: wl, gpu: cfg.GPU, cfg: cfg, launch: launch,
+		id: id, p: p, meta: p.meta, rt: rt, wl: wl, gpu: cfg.GPU, cfg: cfg, launch: launch,
 		entry:       entry,
 		blockQueue:  blocks,
 		mshrFree:    cfg.GPU.MSHRsPerSM,
-		icache:      map[int]int64{},
+		minRelease:  farFuture,
+		icacheUse:   make([]int64, (len(p.Instrs)+icacheLineInstrs-1)/icacheLineInstrs),
 		icacheCap:   max(1, cfg.GPU.ICacheInstrs/icacheLineInstrs),
 		issuedPerPC: make([]int64, len(p.Instrs)),
 		warpsPerBlk: warpsPerBlock,
+		sink:        sink,
+	}
+	for i := range s.icacheUse {
+		s.icacheUse[i] = -1
 	}
 	s.scheds = make([]scheduler, cfg.GPU.SchedulersPerSM)
 	resident := occ.BlocksPerSM
@@ -110,6 +207,16 @@ func newSM(id int, p *Program, wl Workload, cfg Config, launch LaunchConfig,
 		s.startBlock(slot, 0)
 	}
 	return s
+}
+
+// wakeAll forces every scheduler to rescan its warps: some asynchronous
+// event (MSHR release, barrier release, block rotation) may have made a
+// warp ready earlier than the cached nextReady bounds assumed.
+func (s *sm) wakeAll() {
+	s.wakeGen++
+	for i := range s.scheds {
+		s.scheds[i].nextReady = 0
+	}
 }
 
 // startBlock (re)fills a block slot with the next queued block at the
@@ -137,6 +244,12 @@ func (s *sm) startBlock(slot int, now int64) bool {
 	}
 	for wi, widx := range bs.warps {
 		w := &s.warps[widx]
+		visits := w.visits
+		if visits == nil {
+			visits = make([]int32, len(s.p.Instrs))
+		} else {
+			clear(visits)
+		}
 		*w = warpState{
 			slot: slot,
 			ctx: WarpCtx{
@@ -147,9 +260,10 @@ func (s *sm) startBlock(slot int, now int64) bool {
 			},
 			pc:        s.entry,
 			nextIssue: now + blockLaunchOverhead,
-			visits:    map[int]int{},
+			visits:    visits,
 		}
 	}
+	s.wakeAll()
 	return true
 }
 
@@ -165,46 +279,61 @@ func (s *sm) allDone() bool {
 	return true
 }
 
-// readiness reports whether warp w can issue at cycle now, with the
-// stall reason when it cannot. The returned reason for a ready warp is
+// ready reports whether warp w can issue at cycle now, the stall reason
+// when it cannot, and a lower bound on the first cycle it could become
+// ready absent asynchronous wake events (farFuture when only such an
+// event can wake it). The returned reason for a ready warp is
 // ReasonNotSelected (callers override to ReasonNone for the issuer).
-func (s *sm) readiness(sc *scheduler, w *warpState, now int64) (bool, StallReason) {
+func (s *sm) ready(sc *scheduler, w *warpState, now int64) (bool, StallReason, int64) {
 	if w.exited {
-		return false, ReasonIdle
+		return false, ReasonIdle, farFuture
 	}
 	if w.barWait {
-		return false, ReasonSync
+		return false, ReasonSync, farFuture
 	}
-	if w.fetchReady > now {
-		return false, ReasonInstructionFetch
+	m := &s.meta[w.pc]
+	bound := w.fetchReady
+	if w.nextIssue > bound {
+		bound = w.nextIssue
 	}
-	in := &s.p.Instrs[w.pc]
-	// Scoreboard wait mask: report the slowest pending barrier.
+	if busy := sc.unitBusy[m.class]; busy > bound {
+		bound = busy
+	}
+	// Scoreboard wait mask: the slowest pending barrier gates issue.
 	var worst int64
 	reason := ReasonNone
-	for b := 0; b < sass.NumBarriers; b++ {
-		if in.Ctrl.Waits(b) && w.barReady[b] > now && w.barReady[b] > worst {
-			worst = w.barReady[b]
+	for wm := m.waitMask; wm != 0; wm &= wm - 1 {
+		b := bits.TrailingZeros8(wm)
+		if r := w.barReady[b]; r > now && r > worst {
+			worst = r
 			reason = w.barReason[b]
 		}
 	}
+	if worst > bound {
+		bound = worst
+	}
+	if w.fetchReady > now {
+		return false, ReasonInstructionFetch, bound
+	}
 	if worst > 0 {
-		return false, reason
+		return false, reason, bound
 	}
 	if w.nextIssue > now {
-		return false, w.issueStall
+		return false, w.issueStall, bound
 	}
-	info := in.Opcode.Info()
-	if in.Opcode.IsMemory() {
-		tx := max(1, s.wl.Transactions(w.pc))
-		if spaceNeedsMSHR(in.Opcode) && s.mshrFree < tx {
-			return false, ReasonMemoryThrottle
-		}
+	if m.flags&metaNeedMSHR != 0 && s.mshrFree < int(s.rt.tx[w.pc]) {
+		return false, ReasonMemoryThrottle, farFuture
 	}
-	if sc.unitBusy[info.Class] > now {
-		return false, ReasonPipeBusy
+	if sc.unitBusy[m.class] > now {
+		return false, ReasonPipeBusy, bound
 	}
-	return true, ReasonNotSelected
+	return true, ReasonNotSelected, now
+}
+
+// readiness is the two-result form of ready used by the sampling path.
+func (s *sm) readiness(sc *scheduler, w *warpState, now int64) (bool, StallReason) {
+	ok, reason, _ := s.ready(sc, w, now)
+	return ok, reason
 }
 
 func spaceNeedsMSHR(op sass.Opcode) bool {
@@ -217,46 +346,21 @@ func spaceNeedsMSHR(op sass.Opcode) bool {
 
 // memLatency models the completion latency of a variable-latency
 // instruction.
-func (s *sm) memLatency(w *warpState, in *sass.Instruction, tx int) int64 {
-	visit := w.visits[w.pc]
-	if lat := s.wl.Latency(w.ctx, w.pc, visit); lat > 0 {
+func (s *sm) memLatency(w *warpState, pc int, tx int) int64 {
+	visit := int(w.visits[pc])
+	if lat := s.wl.Latency(w.ctx, pc, visit); lat > 0 {
 		return int64(lat)
 	}
-	g := s.gpu
-	var base int
-	switch in.Opcode.Info().Class {
-	case sass.ClassMemGlobal, sass.ClassMemGeneric:
-		base = g.GlobalLatency
-		if in.Opcode == sass.OpATOM || in.Opcode == sass.OpRED {
-			base = g.AtomicLatency
-		}
-	case sass.ClassMemLocal:
-		base = g.LocalLatency
-	case sass.ClassMemShared:
-		base = g.SharedLatency
-	case sass.ClassMemConst:
-		base = g.ConstLatency
-	case sass.ClassMUFU:
-		base = 24
-		if in.Opcode == sass.OpIDIV {
-			base = 52
-		}
-	default:
-		if in.Opcode == sass.OpS2R {
-			base = 20
-		} else {
-			base = 16
-		}
-	}
+	base := s.rt.baseLat[pc]
 	// Deterministic jitter: ±12% keyed by (seed, warp, pc, visit).
-	h := splitmix(s.cfg.Seed ^ uint64(w.ctx.GlobalWarp)<<32 ^ uint64(w.pc)<<8 ^ uint64(visit))
-	jitter := int64(h%uint64(max(1, base/4))) - int64(base/8)
+	h := splitmix(s.cfg.Seed ^ uint64(w.ctx.GlobalWarp)<<32 ^ uint64(pc)<<8 ^ uint64(visit))
+	jitter := int64(h%uint64(max(1, base/4))) - base/8
 	// Uncoalesced accesses serialize their extra transactions.
 	extra := int64(0)
-	if tx > 1 && spaceNeedsMSHR(in.Opcode) {
+	if tx > 1 && s.meta[pc].flags&metaNeedMSHR != 0 {
 		extra = int64(tx-1) * 28
 	}
-	lat := int64(base) + jitter + extra
+	lat := base + jitter + extra
 	if lat < 2 {
 		lat = 2
 	}
@@ -288,24 +392,26 @@ func barrierReasonFor(op sass.Opcode) StallReason {
 // target; sequential flow never misses (hardware prefetches linearly).
 func (s *sm) icacheCheck(w *warpState, target int, now int64) {
 	line := target / icacheLineInstrs
-	if _, ok := s.icache[line]; ok {
-		s.icache[line] = now
+	if s.icacheUse[line] >= 0 {
+		s.icacheUse[line] = now
 		return
 	}
 	// Miss: evict LRU if full, install, stall the warp. Misses are
 	// serviced through a shared fetch unit, so concurrent misses
 	// serialize (fetchSerializeCycles each).
-	if len(s.icache) >= s.icacheCap {
-		var lruLine int
-		lruCycle := int64(1<<62 - 1)
-		for l, c := range s.icache {
-			if c < lruCycle {
+	if s.icacheResident >= s.icacheCap {
+		lruLine := -1
+		lruCycle := farFuture
+		for l, c := range s.icacheUse {
+			if c >= 0 && c < lruCycle {
 				lruCycle, lruLine = c, l
 			}
 		}
-		delete(s.icache, lruLine)
+		s.icacheUse[lruLine] = -1
+		s.icacheResident--
 	}
-	s.icache[line] = now
+	s.icacheUse[line] = now
+	s.icacheResident++
 	start := now
 	if s.fetchBusy > start {
 		start = s.fetchBusy
@@ -319,39 +425,38 @@ func (s *sm) issue(sc *scheduler, widx int, now int64) {
 	w := &s.warps[widx]
 	pc := w.pc
 	in := &s.p.Instrs[pc]
-	info := in.Opcode.Info()
+	m := &s.meta[pc]
 	s.issuedPerPC[pc]++
 	w.lastIssuedPC = pc
 	w.lastIssueCycle = now
 
-	stall := int64(in.Ctrl.Stall)
+	stall := int64(m.stall)
 	if stall < 1 {
 		stall = 1
 	}
 	w.nextIssue = now + stall
-	if stall > 2 && !in.Opcode.IsControl() {
-		w.issueStall = ReasonExecutionDependency
-	} else {
-		w.issueStall = ReasonOther
-	}
-	sc.unitBusy[info.Class] = now + int64(s.gpu.IssueCost(in.Opcode))
+	w.issueStall = m.issueStall
+	sc.unitBusy[m.class] = now + s.rt.issueCost[pc]
 
-	if info.VariableLatency {
-		tx := max(1, s.wl.Transactions(pc))
-		lat := s.memLatency(w, in, tx)
-		if spaceNeedsMSHR(in.Opcode) {
+	if m.flags&metaVarLat != 0 {
+		tx := int(s.rt.tx[pc])
+		lat := s.memLatency(w, pc, tx)
+		if m.flags&metaNeedMSHR != 0 {
 			s.mshrFree -= tx
-			s.releases = append(s.releases, mshrRelease{cycle: now + lat, count: tx})
+			cycle := now + lat
+			s.releases = append(s.releases, mshrRelease{cycle: cycle, count: tx})
+			if cycle < s.minRelease {
+				s.minRelease = cycle
+			}
 		}
-		reason := barrierReasonFor(in.Opcode)
-		if wb := in.Ctrl.WriteBar; wb != sass.NoBarrier {
+		if wb := m.writeBar; wb != int8(sass.NoBarrier) {
 			w.barReady[wb] = now + lat
-			w.barReason[wb] = reason
+			w.barReason[wb] = m.barReason
 		}
-		if rb := in.Ctrl.ReadBar; rb != sass.NoBarrier {
+		if rb := m.readBar; rb != int8(sass.NoBarrier) {
 			// Source operands are consumed well before the result
 			// lands; WAR hazards clear earlier.
-			readDone := now + min64(lat, 20)
+			readDone := now + min(lat, 20)
 			if w.barReady[rb] < readDone {
 				w.barReady[rb] = readDone
 				w.barReason[rb] = ReasonExecutionDependency
@@ -362,8 +467,8 @@ func (s *sm) issue(sc *scheduler, widx int, now int64) {
 	// Control flow.
 	switch in.Opcode {
 	case sass.OpBRA, sass.OpJMP, sass.OpBRX:
-		visit := w.visits[pc]
-		w.visits[pc] = visit + 1
+		visit := int(w.visits[pc])
+		w.visits[pc]++
 		taken := in.Unconditional() || s.wl.Taken(w.ctx, pc, visit)
 		if taken {
 			w.pc = s.p.Target(pc)
@@ -420,26 +525,37 @@ func (s *sm) maybeReleaseBarrier(slot *blockSlot) {
 			s.warps[widx].barWait = false
 		}
 		slot.arrived = 0
+		s.wakeAll()
 	}
 }
 
 // processReleases returns MSHR slots whose transactions completed.
 func (s *sm) processReleases(now int64) {
 	kept := s.releases[:0]
+	next := farFuture
+	released := false
 	for _, r := range s.releases {
 		if r.cycle <= now {
 			s.mshrFree += r.count
+			released = true
 		} else {
+			if r.cycle < next {
+				next = r.cycle
+			}
 			kept = append(kept, r)
 		}
 	}
 	s.releases = kept
+	s.minRelease = next
+	if released {
+		s.wakeAll()
+	}
 }
 
 // nextEvent returns the earliest future cycle at which any warp might
 // become ready (or an MSHR frees), for idle-cycle skipping.
 func (s *sm) nextEvent(now int64) int64 {
-	next := int64(1<<62 - 1)
+	next := farFuture
 	consider := func(c int64) {
 		if c > now && c < next {
 			next = c
@@ -453,11 +569,8 @@ func (s *sm) nextEvent(now int64) int64 {
 		consider(w.nextIssue)
 		consider(w.fetchReady)
 		if !w.barWait {
-			in := &s.p.Instrs[w.pc]
-			for b := 0; b < sass.NumBarriers; b++ {
-				if in.Ctrl.Waits(b) {
-					consider(w.barReady[b])
-				}
+			for wm := s.meta[w.pc].waitMask; wm != 0; wm &= wm - 1 {
+				consider(w.barReady[bits.TrailingZeros8(wm)])
 			}
 		}
 	}
@@ -469,7 +582,7 @@ func (s *sm) nextEvent(now int64) int64 {
 			consider(s.scheds[si].unitBusy[c])
 		}
 	}
-	if next == 1<<62-1 {
+	if next == farFuture {
 		return now + 1
 	}
 	return next
@@ -479,7 +592,7 @@ func (s *sm) nextEvent(now int64) int64 {
 // over the warp schedulers (one scheduler per period, per Figure 1 of
 // the paper) and rotates over the scheduler's resident warps.
 func (s *sm) sampleTick(now int64) {
-	sink := s.cfg.Sink
+	sink := s.sink
 	if sink == nil {
 		return
 	}
@@ -534,23 +647,64 @@ func (s *sm) run(maxCycles int64) (int64, error) {
 			return 0, fmt.Errorf("gpusim: SM %d exceeded %d cycles (possible livelock; last progress at %d)",
 				s.id, maxCycles, lastProgress)
 		}
-		s.processReleases(now)
+		if s.minRelease <= now {
+			s.processReleases(now)
+		}
 		anyIssued := false
 		for si := range s.scheds {
 			sc := &s.scheds[si]
 			sc.issuedNow = false
+			if sc.nextReady > now {
+				continue
+			}
+			// Scan every warp in LRR order: issue the first ready one,
+			// then keep scanning for bounds only, so the cursor covers a
+			// whole issue epoch instead of forcing a rescan every cycle.
 			n := len(sc.warps)
+			bound := farFuture
+			gen := s.wakeGen
+			start := sc.rotate
 			for i := 0; i < n; i++ {
-				widx := sc.warps[(sc.rotate+i)%n]
-				w := &s.warps[widx]
-				if ok, _ := s.readiness(sc, w, now); ok {
-					s.issue(sc, widx, now)
-					sc.rotate = (sc.rotate + i + 1) % n
-					sc.issuedNow = true
-					anyIssued = true
-					lastProgress = now
-					break
+				slot := start + i
+				if slot >= n {
+					slot -= n
 				}
+				widx := sc.warps[slot]
+				w := &s.warps[widx]
+				var wb int64
+				if w.boundGen == s.wakeGen && w.bound > now {
+					// Cached bound proves the warp cannot issue yet.
+					wb = w.bound
+				} else {
+					ok, _, b := s.ready(sc, w, now)
+					if ok && !sc.issuedNow {
+						s.issue(sc, widx, now)
+						sc.issuedNow = true
+						anyIssued = true
+						lastProgress = now
+						// The LRR pointer restarts after the issuer.
+						sc.rotate = slot + 1
+						if sc.rotate >= n {
+							sc.rotate = 0
+						}
+						// Post-issue the warp is stalled at least one
+						// cycle; its refreshed gates bound its next
+						// issue.
+						_, _, b = s.ready(sc, w, now)
+					}
+					w.bound, w.boundGen = b, s.wakeGen
+					wb = b
+				}
+				if wb < bound {
+					bound = wb
+				}
+			}
+			if gen != s.wakeGen {
+				// An issue released a barrier or rotated a block; bounds
+				// gathered before that are stale. Rescan next cycle.
+				sc.nextReady = 0
+			} else {
+				sc.nextReady = bound
 			}
 		}
 		if period > 0 && now >= nextTick {
@@ -561,16 +715,32 @@ func (s *sm) run(maxCycles int64) (int64, error) {
 			now++
 			continue
 		}
-		// Idle: skip to the next event, firing sample ticks on the way
-		// (they all observe the same stalled state).
-		next := s.nextEvent(now)
+		var next int64
 		if period > 0 {
+			// Idle: skip to the next event, firing sample ticks on the
+			// way (they all observe the same stalled state).
+			next = s.nextEvent(now)
 			for si := range s.scheds {
 				s.scheds[si].issuedNow = false
 			}
 			for nextTick < next {
 				s.sampleTick(nextTick)
 				nextTick += period
+			}
+		} else {
+			// No sampling: nothing observes intermediate idle cycles, so
+			// jump straight to the earliest cycle a scheduler could issue
+			// or an MSHR release fires. (With sampling enabled the jump
+			// must follow nextEvent hop by hop so ticks land on the same
+			// cycles.)
+			next = s.minRelease
+			for si := range s.scheds {
+				if nr := s.scheds[si].nextReady; nr < next {
+					next = nr
+				}
+			}
+			if next == farFuture {
+				next = now + 1
 			}
 		}
 		if next <= now {
@@ -579,18 +749,4 @@ func (s *sm) run(maxCycles int64) (int64, error) {
 		now = next
 	}
 	return now, nil
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -89,6 +89,13 @@ type Sample struct {
 
 // SampleSink receives samples as SMs record them; the sampling package
 // provides buffered implementations that mimic CUPTI's per-SM buffers.
+//
+// Contract: Record is always invoked from a single goroutine, with
+// samples in SM order (all of SM 0's stream, then SM 1's, ...). When
+// Run simulates SMs concurrently it buffers each SM's stream privately
+// and replays the buffers in SM order after the join, so sinks observe
+// the same call sequence at every parallelism level and need no
+// locking.
 type SampleSink interface {
 	Record(Sample)
 }

@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"gpa"
+	"gpa/internal/par"
 )
 
 // Variant is one concrete kernel build: assembly, launch configuration,
@@ -100,6 +101,17 @@ type RunOptions struct {
 	SimSMs       int
 	SamplePeriod int
 	Seed         uint64
+	// Parallel runs the row's three measurements (baseline measure,
+	// optimized measure, baseline advise) concurrently. Results are
+	// identical to the sequential order.
+	Parallel bool
+	// Parallelism bounds concurrent SM simulation inside each
+	// measurement. Unlike gpa.Options, the zero value means 1
+	// (sequential SMs): the harness layers its own row- and
+	// measurement-level concurrency on top, and nesting a
+	// GOMAXPROCS-wide SM pool under those would oversubscribe the
+	// machine and make "sequential" timings dishonest.
+	Parallelism int
 }
 
 func (o RunOptions) options() *gpa.Options {
@@ -107,7 +119,14 @@ func (o RunOptions) options() *gpa.Options {
 	if simSMs == 0 {
 		simSMs = 1
 	}
-	return &gpa.Options{SimSMs: simSMs, SamplePeriod: o.SamplePeriod, Seed: o.Seed}
+	parallelism := o.Parallelism
+	if parallelism == 0 {
+		parallelism = 1
+	}
+	return &gpa.Options{
+		SimSMs: simSMs, SamplePeriod: o.SamplePeriod, Seed: o.Seed,
+		Parallelism: parallelism,
+	}
 }
 
 // Run measures the baseline and optimized variants and extracts the
@@ -126,17 +145,51 @@ func (b *Benchmark) Run(ro RunOptions) (*Outcome, error) {
 	baseOpts.Workload = baseWL
 	optOpts := *opts
 	optOpts.Workload = optWL
-	baseCycles, err := baseK.Measure(&baseOpts)
-	if err != nil {
-		return nil, fmt.Errorf("%s: base measure: %w", b.ID(), err)
+
+	var baseCycles, optCycles int64
+	var report *gpa.Report
+	measureBase := func() error {
+		c, err := baseK.Measure(&baseOpts)
+		if err != nil {
+			return fmt.Errorf("%s: base measure: %w", b.ID(), err)
+		}
+		baseCycles = c
+		return nil
 	}
-	optCycles, err := optK.Measure(&optOpts)
-	if err != nil {
-		return nil, fmt.Errorf("%s: opt measure: %w", b.ID(), err)
+	measureOpt := func() error {
+		c, err := optK.Measure(&optOpts)
+		if err != nil {
+			return fmt.Errorf("%s: opt measure: %w", b.ID(), err)
+		}
+		optCycles = c
+		return nil
 	}
-	report, err := baseK.Advise(&baseOpts)
-	if err != nil {
-		return nil, fmt.Errorf("%s: advise: %w", b.ID(), err)
+	advise := func() error {
+		r, err := baseK.Advise(&baseOpts)
+		if err != nil {
+			return fmt.Errorf("%s: advise: %w", b.ID(), err)
+		}
+		report = r
+		return nil
+	}
+	steps := []func() error{measureBase, measureOpt, advise}
+	if ro.Parallel {
+		errs := make([]error, len(steps))
+		par.Do(len(steps), len(steps), func(i int) { errs[i] = steps[i]() })
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		// Sequential mode short-circuits on the first failure (a failing
+		// measurement can be a full MaxCycles simulation; don't repeat
+		// it twice more).
+		for _, step := range steps {
+			if err := step(); err != nil {
+				return nil, err
+			}
+		}
 	}
 	out := &Outcome{
 		Bench:      b,
@@ -153,16 +206,9 @@ func (b *Benchmark) Run(ro RunOptions) (*Outcome, error) {
 		}
 	}
 	if out.Achieved > 0 && out.Estimated > 0 {
-		out.Error = abs(out.Estimated-out.Achieved) / out.Achieved
+		out.Error = math.Abs(out.Estimated-out.Achieved) / out.Achieved
 	}
 	return out, nil
-}
-
-func abs(v float64) float64 {
-	if v < 0 {
-		return -v
-	}
-	return v
 }
 
 var registry []*Benchmark

@@ -1,0 +1,38 @@
+// Package par provides the bounded-worker fan-out primitive shared by
+// the simulator (concurrent SMs), the benchmark driver (row sweeps),
+// and the per-row measurement runner.
+package par
+
+import "sync"
+
+// Do invokes fn(0..n-1) using at most workers concurrent goroutines
+// (workers <= 1 runs inline, in order). fn is responsible for storing
+// its own result or error by index; callers that need sequential error
+// semantics scan their results in index order after Do returns.
+func Do(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}

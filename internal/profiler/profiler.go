@@ -28,6 +28,9 @@ type Options struct {
 	// SimSMs bounds detailed SM simulation (0 uses the gpusim default).
 	SimSMs int
 	Seed   uint64
+	// Parallelism bounds concurrent SM simulation (0 uses GOMAXPROCS);
+	// results are identical at every level.
+	Parallelism int
 }
 
 // StallCounts maps stall reason names to sample counts (JSON-friendly).
@@ -80,6 +83,18 @@ type Profile struct {
 
 // Collect profiles one launch of the module's entry kernel.
 func Collect(mod *sass.Module, launch gpusim.LaunchConfig, wl gpusim.Workload, opts Options) (*Profile, error) {
+	prog, err := gpusim.Load(mod)
+	if err != nil {
+		return nil, fmt.Errorf("profiler: %w", err)
+	}
+	return CollectProgram(prog, launch, wl, opts)
+}
+
+// CollectProgram profiles one launch of an already-loaded program,
+// letting callers that profile the same kernel repeatedly skip the
+// per-run module flattening.
+func CollectProgram(prog *gpusim.Program, launch gpusim.LaunchConfig, wl gpusim.Workload, opts Options) (*Profile, error) {
+	mod := prog.Module
 	if opts.GPU == nil {
 		g, err := arch.ByArchFlag(mod.Arch)
 		if err != nil {
@@ -91,10 +106,6 @@ func Collect(mod *sass.Module, launch gpusim.LaunchConfig, wl gpusim.Workload, o
 	if period <= 0 {
 		period = 64
 	}
-	prog, err := gpusim.Load(mod)
-	if err != nil {
-		return nil, fmt.Errorf("profiler: %w", err)
-	}
 	buf := sampling.NewBuffer(opts.BufferCap)
 	res, err := gpusim.Run(prog, launch, wl, gpusim.Config{
 		GPU:          opts.GPU,
@@ -102,6 +113,7 @@ func Collect(mod *sass.Module, launch gpusim.LaunchConfig, wl gpusim.Workload, o
 		SamplePeriod: period,
 		Sink:         buf,
 		Seed:         opts.Seed,
+		Parallelism:  opts.Parallelism,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("profiler: %w", err)

@@ -8,18 +8,19 @@
 package sampling
 
 import (
-	"sort"
-
 	"gpa/internal/gpusim"
 )
 
 // DefaultBufferCap is the default per-SM sample-buffer capacity.
 const DefaultBufferCap = 2048
 
-// Buffer is a gpusim.SampleSink with CUPTI-like per-SM buffering.
+// Buffer is a gpusim.SampleSink with CUPTI-like per-SM buffering. Like
+// every SampleSink it is fed from a single goroutine (the simulator
+// serializes delivery even when SMs run concurrently), so it needs no
+// locking.
 type Buffer struct {
 	cap     int
-	perSM   map[int][]gpusim.Sample
+	perSM   [][]gpusim.Sample // indexed by SM id, grown on demand
 	host    []gpusim.Sample
 	Flushes int // number of full-buffer merge events
 }
@@ -30,12 +31,15 @@ func NewBuffer(capPerSM int) *Buffer {
 	if capPerSM <= 0 {
 		capPerSM = DefaultBufferCap
 	}
-	return &Buffer{cap: capPerSM, perSM: map[int][]gpusim.Sample{}}
+	return &Buffer{cap: capPerSM}
 }
 
 // Record appends a sample to its SM's buffer, flushing all SMs to the
 // host when the buffer fills.
 func (b *Buffer) Record(s gpusim.Sample) {
+	for s.SM >= len(b.perSM) {
+		b.perSM = append(b.perSM, nil)
+	}
 	buf := append(b.perSM[s.SM], s)
 	b.perSM[s.SM] = buf
 	if len(buf) >= b.cap {
@@ -45,12 +49,7 @@ func (b *Buffer) Record(s gpusim.Sample) {
 
 func (b *Buffer) flush() {
 	b.Flushes++
-	sms := make([]int, 0, len(b.perSM))
 	for sm := range b.perSM {
-		sms = append(sms, sm)
-	}
-	sort.Ints(sms)
-	for _, sm := range sms {
 		b.host = append(b.host, b.perSM[sm]...)
 		b.perSM[sm] = b.perSM[sm][:0]
 	}
