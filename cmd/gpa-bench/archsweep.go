@@ -1,0 +1,160 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"gpa"
+	"gpa/internal/arch"
+	"gpa/internal/kernels"
+	"gpa/internal/par"
+)
+
+// runArchSweep reproduces Table 3 on every registered architecture and
+// prints a per-architecture comparison: the same rows, the same seeds,
+// N GPU models. All (arch, row) cells run concurrently over a
+// GOMAXPROCS-bounded worker pool; the simulator is deterministic per
+// architecture, so the report does not depend on scheduling. smokeRows
+// > 0 limits the sweep to the first smokeRows rows (the CI smoke mode).
+func runArchSweep(cfg sweepConfig, jsonOut string, smokeRows int) error {
+	gpus := arch.All()
+	rows := kernels.All()
+	if smokeRows > 0 && smokeRows < len(rows) {
+		rows = rows[:smokeRows]
+	}
+
+	type cell struct {
+		out *kernels.Outcome
+		err error
+	}
+	cells := make([]cell, len(gpus)*len(rows))
+	par.Do(len(cells), runtime.GOMAXPROCS(0), func(i int) {
+		g, b := gpus[i/len(rows)], rows[i%len(rows)]
+		ro := cfg.runOptions()
+		ro.GPU = g
+		cells[i].out, cells[i].err = b.Run(ro)
+	})
+	for i := range cells {
+		if err := cells[i].err; err != nil {
+			return fmt.Errorf("%s: %w", gpa.GPUName(gpus[i/len(rows)]), err)
+		}
+	}
+
+	names := make([]string, len(gpus))
+	for i, g := range gpus {
+		names[i] = gpa.GPUName(g)
+	}
+	width := 82 + 22*len(gpus)
+	fmt.Printf("Table 3 across %d architectures (achieved / estimated speedups, seed %d)\n",
+		len(gpus), cfg.seed)
+	fmt.Println(strings.Repeat("=", width))
+	fmt.Printf("%-24s %-26s %-30s", "Application", "Kernel", "Optimization")
+	for _, n := range names {
+		fmt.Printf("  %20s", n+" ach/est")
+	}
+	fmt.Println()
+	for r, b := range rows {
+		fmt.Printf("%-24s %-26s %-30s", b.App, b.Kernel, b.Optimization)
+		for a := range gpus {
+			out := cells[a*len(rows)+r].out
+			if out.Rank == 0 {
+				// The row's optimizer does not apply on this
+				// architecture (e.g. Block Increase when the grid
+				// already covers every SM).
+				fmt.Printf("  %9.2fx %9s", out.Achieved, "-")
+				continue
+			}
+			fmt.Printf("  %9.2fx %8.2fx", out.Achieved, out.Estimated)
+		}
+		fmt.Println()
+	}
+	fmt.Println(strings.Repeat("-", width))
+	fmt.Printf("%-82s", "geomean")
+	type archSummary struct {
+		achieved, estimated, meanErr float64
+	}
+	sums := make([]archSummary, len(gpus))
+	for a := range gpus {
+		var ach, est []float64
+		var errSum float64
+		for r := range rows {
+			out := cells[a*len(rows)+r].out
+			ach = append(ach, out.Achieved)
+			// Rows whose optimizer does not apply on this architecture
+			// carry no estimate; the estimate geomean and error cover
+			// matched rows only.
+			if out.Rank != 0 {
+				est = append(est, out.Estimated)
+				errSum += out.Error
+			}
+		}
+		sums[a] = archSummary{
+			achieved:  kernels.GeoMean(ach),
+			estimated: kernels.GeoMean(est),
+		}
+		if len(est) > 0 {
+			sums[a].meanErr = errSum / float64(len(est))
+		}
+		fmt.Printf("  %9.2fx %8.2fx", sums[a].achieved, sums[a].estimated)
+	}
+	fmt.Println()
+	fmt.Printf("%-82s", "mean estimate error")
+	for a := range gpus {
+		fmt.Printf("  %19.1f%%", sums[a].meanErr*100)
+	}
+	fmt.Println()
+	fmt.Println()
+
+	if jsonOut != "" {
+		doc := archSweepJSON{Seed: cfg.seed}
+		for a, g := range gpus {
+			entry := archSweepArchJSON{
+				Arch:  names[a],
+				Model: g.Name,
+				SM:    g.SM,
+			}
+			for r, b := range rows {
+				out := cells[a*len(rows)+r].out
+				entry.Rows = append(entry.Rows, table3RowJSON{
+					App: b.App, Kernel: b.Kernel, Optimization: b.Optimization,
+					Achieved: out.Achieved, PaperAchieved: b.PaperAchieved,
+					Estimated: out.Estimated, PaperEstimated: b.PaperEstimated,
+					Error: out.Error, Rank: out.Rank,
+					BaseCycles: out.BaseCycles, OptCycles: out.OptCycles,
+				})
+			}
+			entry.GeomeanAchieved = sums[a].achieved
+			entry.GeomeanEstimated = sums[a].estimated
+			entry.MeanError = sums[a].meanErr
+			doc.Archs = append(doc.Archs, entry)
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonOut)
+	}
+	return nil
+}
+
+// archSweepJSON is the -json serialization of an -arch-sweep run.
+type archSweepJSON struct {
+	Seed  uint64              `json:"seed"`
+	Archs []archSweepArchJSON `json:"archs"`
+}
+
+type archSweepArchJSON struct {
+	Arch             string          `json:"arch"`
+	Model            string          `json:"model"`
+	SM               int             `json:"sm"`
+	Rows             []table3RowJSON `json:"rows"`
+	GeomeanAchieved  float64         `json:"geomeanAchieved"`
+	GeomeanEstimated float64         `json:"geomeanEstimated"`
+	MeanError        float64         `json:"meanError"`
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"gpa"
+	"gpa/internal/arch"
 	"gpa/internal/kernels"
 )
 
@@ -21,7 +22,9 @@ type benchSnapshot struct {
 	NumCPU     int    `json:"numCPU"`
 	GoMaxProcs int    `json:"goMaxProcs"`
 
-	Kernel       string `json:"kernel"`
+	Kernel string `json:"kernel"`
+	// Arch is the registry key of the GPU model the stages ran on.
+	Arch         string `json:"arch"`
 	SimSMs       int    `json:"simSMs"`
 	SamplePeriod int    `json:"samplePeriod"`
 	Seed         uint64 `json:"seed"`
@@ -56,10 +59,14 @@ func timeStage(reps int, fn func() error) (float64, error) {
 }
 
 // runBenchSnapshot times the pipeline stages on the representative
-// rodinia/hotspot row at SimSMs=4 and writes the snapshot JSON.
-func runBenchSnapshot(path string, reps int, seed uint64, baselineNs float64) error {
+// rodinia/hotspot row at SimSMs=4 on the selected GPU model (nil = the
+// default V100) and writes the snapshot JSON.
+func runBenchSnapshot(path string, reps int, seed uint64, baselineNs float64, gpu *arch.GPU) error {
 	if reps <= 0 {
 		reps = 1
+	}
+	if gpu == nil {
+		gpu = arch.VoltaV100()
 	}
 	rows := kernels.Find("rodinia/hotspot")
 	if len(rows) == 0 {
@@ -71,8 +78,8 @@ func runBenchSnapshot(path string, reps int, seed uint64, baselineNs float64) er
 		return err
 	}
 	const simSMs = 4
-	seqOpts := &gpa.Options{Workload: wl, Seed: seed, SimSMs: simSMs, Parallelism: 1}
-	parOpts := &gpa.Options{Workload: wl, Seed: seed, SimSMs: simSMs, Parallelism: runtime.GOMAXPROCS(0)}
+	seqOpts := &gpa.Options{GPU: gpu, Workload: wl, Seed: seed, SimSMs: simSMs, Parallelism: 1}
+	parOpts := &gpa.Options{GPU: gpu, Workload: wl, Seed: seed, SimSMs: simSMs, Parallelism: runtime.GOMAXPROCS(0)}
 
 	snap := &benchSnapshot{
 		Schema:       "gpa-bench-snapshot/1",
@@ -81,6 +88,7 @@ func runBenchSnapshot(path string, reps int, seed uint64, baselineNs float64) er
 		NumCPU:       runtime.NumCPU(),
 		GoMaxProcs:   runtime.GOMAXPROCS(0),
 		Kernel:       row.App + "/" + row.Kernel,
+		Arch:         gpa.GPUName(gpu),
 		SimSMs:       simSMs,
 		SamplePeriod: 64,
 		Seed:         seed,
@@ -100,11 +108,11 @@ func runBenchSnapshot(path string, reps int, seed uint64, baselineNs float64) er
 		{"profile", func() error { _, err := k.Profile(seqOpts); return err }},
 		{"advise", func() error { _, err := k.AdviseFromProfile(prof, seqOpts); return err }},
 		{"row_seq", func() error {
-			_, err := row.Run(kernels.RunOptions{Seed: seed, SimSMs: simSMs})
+			_, err := row.Run(kernels.RunOptions{GPU: gpu, Seed: seed, SimSMs: simSMs})
 			return err
 		}},
 		{"row_par", func() error {
-			_, err := row.Run(kernels.RunOptions{Seed: seed, SimSMs: simSMs,
+			_, err := row.Run(kernels.RunOptions{GPU: gpu, Seed: seed, SimSMs: simSMs,
 				Parallel: true, Parallelism: runtime.GOMAXPROCS(0)})
 			return err
 		}},

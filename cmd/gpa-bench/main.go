@@ -1,5 +1,6 @@
 // Command gpa-bench regenerates the GPA paper's evaluation artifacts on
-// the simulated V100:
+// a simulated GPU (the paper's V100 by default; -arch selects any
+// registered model):
 //
 //	gpa-bench -table3          Table 3: achieved vs estimated speedups
 //	                           for all 26 (app, kernel, optimization)
@@ -10,15 +11,20 @@
 //	gpa-bench -case-studies    Section 7: the ExaTENSOR, Quicksilver,
 //	                           PeleC, and Minimod walkthroughs with
 //	                           their advice reports.
-//	gpa-bench -all             Everything.
+//	gpa-bench -arch-sweep      Table 3 on every registered architecture
+//	                           (v100, t4, a100, ...) concurrently, with a
+//	                           per-architecture comparison; -smoke limits
+//	                           the sweep to the first 3 rows for CI.
+//	gpa-bench -all             Everything (on the selected -arch).
 //	gpa-bench -bench FILE      Time the pipeline stages (simulate with
 //	                           sequential and parallel SMs, profile,
 //	                           advise, full row) and write a BENCH_*.json
 //	                           trajectory snapshot.
 //
-// Cross-cutting flags: -parallel runs row sweeps and per-row
-// measurements concurrently (output is unchanged — the simulator is
-// deterministic at every parallelism level), -json FILE writes Table 3
+// Cross-cutting flags: -arch NAME runs the single-architecture modes on
+// another GPU model, -parallel runs row sweeps and per-row measurements
+// concurrently (output is unchanged — the simulator is deterministic at
+// every parallelism level), -json FILE writes Table 3 or arch-sweep
 // outcomes as JSON, -cpuprofile FILE captures a pprof profile.
 //
 // Absolute numbers come from the simulator, not the authors' hardware;
@@ -33,6 +39,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"gpa/internal/arch"
 	"gpa/internal/kernels"
 	"gpa/internal/par"
 )
@@ -41,21 +48,29 @@ import (
 type sweepConfig struct {
 	seed     uint64
 	parallel bool
+	// gpu is the architecture the single-arch modes run on (nil = the
+	// paper's V100).
+	gpu *arch.GPU
 }
 
 func (c sweepConfig) runOptions() kernels.RunOptions {
-	return kernels.RunOptions{Seed: c.seed, Parallel: c.parallel}
+	return kernels.RunOptions{GPU: c.gpu, Seed: c.seed, Parallel: c.parallel}
 }
 
 func main() {
 	table3 := flag.Bool("table3", false, "regenerate Table 3")
 	fig7 := flag.Bool("fig7", false, "regenerate Figure 7")
 	cases := flag.Bool("case-studies", false, "run the Section 7 case studies")
+	archSweep := flag.Bool("arch-sweep", false,
+		"run Table 3 on every registered architecture and print a per-arch comparison")
+	smoke := flag.Bool("smoke", false, "limit -arch-sweep to the first 3 rows (CI smoke mode)")
 	all := flag.Bool("all", false, "run everything")
+	archName := flag.String("arch", "",
+		"GPU architecture model for the single-arch modes (see `gpa archs`; default v100)")
 	seed := flag.Uint64("seed", 11, "simulation seed")
 	parallel := flag.Bool("parallel", false,
 		"run benchmark rows and per-row measurements concurrently (same output)")
-	jsonOut := flag.String("json", "", "write Table 3 outcomes as JSON to `file`")
+	jsonOut := flag.String("json", "", "write Table 3 or arch-sweep outcomes as JSON to `file`")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
 	benchOut := flag.String("bench", "", "time the pipeline stages and write a BENCH_*.json snapshot to `file`")
 	benchReps := flag.Int("bench-reps", 10, "repetitions per stage for -bench")
@@ -65,10 +80,13 @@ func main() {
 	if *all {
 		*table3, *fig7, *cases = true, true, true
 	}
-	if *jsonOut != "" && !*table3 {
-		fail(fmt.Errorf("-json records the Table 3 sweep; combine it with -table3 or -all"))
+	if *jsonOut != "" && !*table3 && !*archSweep {
+		fail(fmt.Errorf("-json records a Table 3 or arch sweep; combine it with -table3, -arch-sweep, or -all"))
 	}
-	if !*table3 && !*fig7 && !*cases && *benchOut == "" {
+	if *table3 && *archSweep && *jsonOut != "" {
+		fail(fmt.Errorf("-json with both -table3 and -arch-sweep is ambiguous; pick one"))
+	}
+	if !*table3 && !*fig7 && !*cases && !*archSweep && *benchOut == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -84,6 +102,13 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 	cfg := sweepConfig{seed: *seed, parallel: *parallel}
+	if *archName != "" {
+		g, err := arch.Lookup(*archName)
+		if err != nil {
+			fail(err)
+		}
+		cfg.gpu = g
+	}
 	if *table3 {
 		if err := runTable3(cfg, *jsonOut); err != nil {
 			fail(err)
@@ -99,8 +124,22 @@ func main() {
 			fail(err)
 		}
 	}
+	if *archSweep {
+		smokeRows := 0
+		if *smoke {
+			smokeRows = 3
+		}
+		sweepJSON := *jsonOut
+		if *table3 {
+			// -json already consumed by the Table 3 sweep above.
+			sweepJSON = ""
+		}
+		if err := runArchSweep(cfg, sweepJSON, smokeRows); err != nil {
+			fail(err)
+		}
+	}
 	if *benchOut != "" {
-		if err := runBenchSnapshot(*benchOut, *benchReps, *seed, *baselineNs); err != nil {
+		if err := runBenchSnapshot(*benchOut, *benchReps, *seed, *baselineNs, cfg.gpu); err != nil {
 			fail(err)
 		}
 	}
@@ -154,19 +193,27 @@ func runTable3(cfg sweepConfig, jsonOut string) error {
 			out.Estimated, b.PaperEstimated,
 			out.Error*100, out.Rank)
 		achieved = append(achieved, out.Achieved)
-		estimated = append(estimated, out.Estimated)
-		errors = append(errors, out.Error)
+		// Rows whose optimizer does not apply on this architecture
+		// (Rank 0) carry no estimate; geomean and error cover matched
+		// rows. On the default V100 every row matches.
+		if out.Rank != 0 {
+			estimated = append(estimated, out.Estimated)
+			errors = append(errors, out.Error)
+		}
 	}
 	fmt.Println(strings.Repeat("-", 132))
-	var errSum float64
+	var errSum, meanErr float64
 	for _, e := range errors {
 		errSum += e
+	}
+	if len(errors) > 0 {
+		meanErr = errSum / float64(len(errors))
 	}
 	fmt.Printf("%-82s %8.2fx %8.2fx %8.2fx %8.2fx %5.1f%%\n",
 		"geomean",
 		kernels.GeoMean(achieved), 1.22,
 		kernels.GeoMean(estimated), 1.26,
-		errSum/float64(len(errors))*100)
+		meanErr*100)
 	fmt.Println()
 	if jsonOut != "" {
 		if err := writeTable3JSON(jsonOut, cfg.seed, rows, outs); err != nil {

@@ -1,14 +1,18 @@
 // Command gpa is the command-line front end of the GPU performance
-// advisor: it profiles a kernel on the simulated V100 (PC sampling
+// advisor: it profiles a kernel on a simulated GPU (PC sampling
 // included) and prints ranked optimization advice in the paper's report
-// format.
+// format. The architecture defaults to the paper's V100; -arch selects
+// any registered model (see `gpa archs`).
 //
 // Usage:
 //
 //	gpa list
 //	    List the bundled benchmark kernels (the paper's Table 3 rows).
 //
-//	gpa advise -bench "rodinia/hotspot"
+//	gpa archs
+//	    List the registered GPU architecture models.
+//
+//	gpa advise -bench "rodinia/hotspot" [-arch a100]
 //	    Profile a bundled benchmark's baseline kernel and print advice.
 //
 //	gpa advise -asm kernel.sass -entry mykernel -grid 640 -block 256
@@ -27,6 +31,7 @@ import (
 	"os"
 
 	"gpa"
+	"gpa/internal/arch"
 	"gpa/internal/kernels"
 	"gpa/internal/profiler"
 )
@@ -40,6 +45,8 @@ func main() {
 	switch os.Args[1] {
 	case "list":
 		err = runList()
+	case "archs":
+		err = runArchs()
 	case "advise":
 		err = runAdvise(os.Args[2:])
 	case "profile":
@@ -62,8 +69,9 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   gpa list
-  gpa advise  -bench NAME | -asm FILE -entry K [-grid N] [-block N] [-regs N] [-shared N]
-  gpa profile -asm FILE -entry K [-grid N] [-block N] -o PROFILE.json
+  gpa archs
+  gpa advise  -bench NAME | -asm FILE -entry K [-arch NAME] [-grid N] [-block N] [-regs N] [-shared N]
+  gpa profile -asm FILE -entry K [-arch NAME] [-grid N] [-block N] -o PROFILE.json
   gpa analyze -asm FILE -profile PROFILE.json`)
 }
 
@@ -77,9 +85,21 @@ func runList() error {
 	return nil
 }
 
+func runArchs() error {
+	fmt.Printf("%-6s %-18s %5s %5s %7s %7s %8s %9s %8s %8s\n",
+		"NAME", "MODEL", "SM", "SMs", "WARPS", "BLOCKS", "SHARED", "MSHRS", "GLOBAL", "FP64/ISS")
+	for _, g := range gpa.GPUs() {
+		fmt.Printf("%-6s %-18s %5d %5d %7d %7d %7dK %9d %8d %8d\n",
+			gpa.GPUName(g), g.Name, g.SM, g.NumSMs, g.MaxWarpsPerSM, g.MaxBlocksPerSM,
+			g.SharedMemPerSM/1024, g.MSHRsPerSM, g.GlobalLatency, g.FP64IssueCost)
+	}
+	return nil
+}
+
 type launchFlags struct {
 	asm    string
 	entry  string
+	arch   string
 	grid   int
 	block  int
 	regs   int
@@ -91,6 +111,7 @@ type launchFlags struct {
 func (lf *launchFlags) register(fs *flag.FlagSet) {
 	fs.StringVar(&lf.asm, "asm", "", "SASS assembly file")
 	fs.StringVar(&lf.entry, "entry", "", "kernel (global function) name")
+	fs.StringVar(&lf.arch, "arch", "", "GPU architecture model (see `gpa archs`; default v100)")
 	fs.IntVar(&lf.grid, "grid", 640, "grid size (blocks)")
 	fs.IntVar(&lf.block, "block", 256, "block size (threads)")
 	fs.IntVar(&lf.regs, "regs", 32, "registers per thread")
@@ -99,9 +120,21 @@ func (lf *launchFlags) register(fs *flag.FlagSet) {
 	fs.Uint64Var(&lf.seed, "seed", 11, "simulation seed")
 }
 
+// gpu resolves the -arch flag (nil when unset: the V100 default).
+func (lf *launchFlags) gpu() (*arch.GPU, error) {
+	if lf.arch == "" {
+		return nil, nil
+	}
+	return gpa.LookupGPU(lf.arch)
+}
+
 func (lf *launchFlags) kernel() (*gpa.Kernel, *gpa.Options, error) {
 	if lf.asm == "" {
 		return nil, nil, fmt.Errorf("missing -asm FILE")
+	}
+	gpu, err := lf.gpu()
+	if err != nil {
+		return nil, nil, err
 	}
 	src, err := os.ReadFile(lf.asm)
 	if err != nil {
@@ -114,7 +147,7 @@ func (lf *launchFlags) kernel() (*gpa.Kernel, *gpa.Options, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return k, &gpa.Options{SamplePeriod: lf.period, Seed: lf.seed, SimSMs: 1}, nil
+	return k, &gpa.Options{GPU: gpu, SamplePeriod: lf.period, Seed: lf.seed, SimSMs: 1}, nil
 }
 
 func runAdvise(args []string) error {
@@ -130,12 +163,16 @@ func runAdvise(args []string) error {
 		if len(bs) == 0 {
 			return fmt.Errorf("no bundled benchmark %q (try `gpa list`)", *bench)
 		}
+		gpu, err := lf.gpu()
+		if err != nil {
+			return err
+		}
 		b := bs[0]
 		k, wl, err := b.Base.Build()
 		if err != nil {
 			return err
 		}
-		report, err := k.Advise(&gpa.Options{Workload: wl, Seed: lf.seed, SimSMs: 1})
+		report, err := k.Advise(&gpa.Options{GPU: gpu, Workload: wl, Seed: lf.seed, SimSMs: 1})
 		if err != nil {
 			return err
 		}

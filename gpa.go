@@ -1,7 +1,10 @@
 // Package gpa is a GPU performance advisor based on instruction
 // sampling, reproducing the system of Zhou et al., "GPA: A GPU
 // Performance Advisor Based on Instruction Sampling" (CGO 2021), on a
-// simulated Volta-class GPU.
+// simulated GPU. The paper evaluates on Volta V100, which remains the
+// default model; the pipeline itself is architecture-parametric, and
+// Options.GPU (resolved by LookupGPU, enumerated by GPUs) selects any
+// registered model (V100, T4, A100, ...).
 //
 // The pipeline mirrors the paper's Figure 2:
 //
@@ -70,8 +73,8 @@ func (l Launch) config() gpusim.LaunchConfig {
 
 // Options tunes profiling and analysis.
 type Options struct {
-	// GPU selects the architecture model (nil resolves the module's
-	// arch flag; sm_70 maps to a V100).
+	// GPU selects the architecture model (nil defaults to the paper's
+	// V100; use LookupGPU or arch.Lookup to resolve a model by name).
 	GPU *arch.GPU
 	// SamplePeriod is the PC sampling period in cycles (0 = 64).
 	SamplePeriod int
@@ -246,10 +249,19 @@ func (k *Kernel) Advise(opts *Options, extra ...adv.RankedOptimizer) (*Report, e
 }
 
 // AdviseFromProfile analyses an existing profile (the offline half of
-// the pipeline).
+// the pipeline). When the caller does not select an architecture, the
+// model recorded in the profile wins, so a profile collected on a T4 is
+// not silently analyzed with V100 limits.
 func (k *Kernel) AdviseFromProfile(prof *profiler.Profile, opts *Options,
 	extra ...adv.RankedOptimizer) (*Report, error) {
 	o := normalize(opts)
+	if (opts == nil || opts.GPU == nil) && prof.GPU != "" {
+		g, err := arch.Lookup(prof.GPU)
+		if err != nil {
+			return nil, fmt.Errorf("gpa: profile was taken on unknown architecture %q: %w", prof.GPU, err)
+		}
+		o.GPU = g
+	}
 	ctx, err := adv.BuildContext(k.Module, prof, o.GPU, o.Blamer)
 	if err != nil {
 		return nil, err
@@ -278,5 +290,18 @@ func normalize(opts *Options) Options {
 }
 
 // V100 returns the Volta V100 architecture model used in the paper's
-// evaluation.
+// evaluation (the default when Options.GPU is nil).
 func V100() *arch.GPU { return arch.VoltaV100() }
+
+// LookupGPU resolves a registered architecture model by name ("v100",
+// "t4", "a100", an alias like "ampere" or "sm_80", or a full model
+// name).
+func LookupGPU(name string) (*arch.GPU, error) { return arch.Lookup(name) }
+
+// GPUs returns every registered architecture model, ordered by SM flag:
+// the sweep order of cross-architecture comparisons.
+func GPUs() []*arch.GPU { return arch.All() }
+
+// GPUName returns the canonical registry key for a model ("v100",
+// "t4", "a100"), the name accepted back by LookupGPU.
+func GPUName(g *arch.GPU) string { return arch.KeyOf(g) }

@@ -12,6 +12,15 @@
 // latency-hiding optimizers (loop unrolling, code reordering, function
 // inlining), and two parallel optimizers (block increase, thread
 // increase) — and is extensible: Advise accepts custom optimizers.
+//
+// This is the last stage of the Figure 2 pipeline: input is the module,
+// its profile, and the arch.GPU model the profile was taken on (the
+// parallel estimators read the model's SM count and occupancy limits,
+// so the same profile yields different advice on a 40-SM T4 than on a
+// 108-SM A100); output is a ranked *Advice report. BuildContext runs
+// the blamer over every profiled function first, so Context carries
+// both the raw sample quantities (T, A, L) and the apportioned blame
+// edges.
 package advisor
 
 import (

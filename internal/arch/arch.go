@@ -1,9 +1,23 @@
-// Package arch captures GPU architectural features: per-opcode
-// instruction latencies (the fixed-latency values microbenchmarking
-// studies report, and upper bounds for variable-latency instructions
-// used by GPA's latency-based pruning rule), warp and scheduler geometry,
-// and occupancy limits. The GPA static analyzer selects one of these
-// tables from the architecture flag recorded in a CUBIN.
+// Package arch captures GPU architectural features as pure parameter
+// tables: per-opcode instruction latencies (the fixed-latency values
+// microbenchmarking studies report, and upper bounds for
+// variable-latency instructions used by GPA's latency-based pruning
+// rule), warp and scheduler geometry, occupancy limits, and the
+// front-end costs the simulator charges (i-cache lines, fetch
+// serialization, block launch overhead).
+//
+// In the Figure 2 pipeline the package sits under everything: the
+// simulator (gpusim) reads geometry and latency tables to execute a
+// kernel, the blamer reads latency bounds for its pruning rule
+// (Section 4.3), and the advisor's estimators read occupancy limits for
+// the parallel optimizers (Equations 6-10). Input is a model name or a
+// CUBIN architecture flag; output is a *GPU value.
+//
+// The paper evaluates on Volta V100 only, but every consumer reads
+// these tables through a *GPU value, so the pipeline is
+// architecture-parametric. A registry (Lookup, All, Register, keyed by
+// model name and SM flag) provides the bundled models — VoltaV100,
+// TuringT4, AmpereA100 — and accepts external ones.
 package arch
 
 import (
@@ -12,22 +26,27 @@ import (
 	"gpa/internal/sass"
 )
 
-// GPU describes one GPU model.
+// GPU describes one GPU model. All simulator- and estimator-visible
+// architectural behaviour is a function of these fields; code outside
+// this package must not hardcode per-architecture constants.
 type GPU struct {
 	Name string
-	// SM is the architecture flag (70 = Volta).
+	// SM is the architecture flag (70 = Volta, 75 = Turing,
+	// 80 = Ampere).
 	SM int
 	// NumSMs is the number of streaming multiprocessors.
 	NumSMs int
 	// SchedulersPerSM is the number of warp schedulers per SM (4 on
-	// Volta).
+	// every bundled model).
 	SchedulersPerSM int
 	WarpSize        int
-	// MaxWarpsPerSM bounds resident warps (64 on Volta).
+	// MaxWarpsPerSM bounds resident warps (64 on Volta/Ampere, 32 on
+	// Turing).
 	MaxWarpsPerSM int
 	// MaxThreadsPerBlock is the launch limit (1024).
 	MaxThreadsPerBlock int
-	// MaxBlocksPerSM bounds resident blocks (32 on Volta).
+	// MaxBlocksPerSM bounds resident blocks (32 on Volta/Ampere, 16 on
+	// Turing).
 	MaxBlocksPerSM int
 	// RegistersPerSM is the register file size in 32-bit registers.
 	RegistersPerSM int
@@ -52,66 +71,68 @@ type GPU struct {
 	AtomicLatency      int
 	IFetchMissLatency  int
 	BarrierCheckCycles int // re-check interval at BAR.SYNC
-}
 
-// VoltaV100 returns the V100 (SM 70) model used throughout the paper's
-// evaluation.
-func VoltaV100() *GPU {
-	return &GPU{
-		Name:               "Tesla V100-SXM2",
-		SM:                 70,
-		NumSMs:             80,
-		SchedulersPerSM:    4,
-		WarpSize:           32,
-		MaxWarpsPerSM:      64,
-		MaxThreadsPerBlock: 1024,
-		MaxBlocksPerSM:     32,
-		RegistersPerSM:     65536,
-		SharedMemPerSM:     96 * 1024,
-		MSHRsPerSM:         64,
-		ICacheInstrs:       768, // 12 KiB of 128-bit words
-		GlobalLatency:      420,
-		GlobalLatencyTLB:   1100,
-		SharedLatency:      24,
-		ConstLatency:       8,
-		ConstMissLatency:   120,
-		LocalLatency:       84,
-		AtomicLatency:      480,
-		IFetchMissLatency:  32,
-		BarrierCheckCycles: 4,
-	}
-}
+	// Fixed-latency pipeline table: cycles before a dependent
+	// instruction may issue.
+	ALULatency      int // INT/FP32/misc fixed-latency ops
+	IMADWideLatency int // IMAD.WIDE (64-bit result)
+	FP64Latency     int
+	ConvertLatency  int // F2F/F2I/I2F conversions
+	ControlLatency  int // branches, EXIT, BAR
 
-// ByArchFlag resolves an architecture flag from a CUBIN to a GPU model.
-func ByArchFlag(sm int) (*GPU, error) {
-	switch sm {
-	case 70, 72:
-		return VoltaV100(), nil
-	}
-	return nil, fmt.Errorf("arch: unsupported architecture sm_%d", sm)
+	// Steady-state latencies of variable-latency execution units (the
+	// simulator's default completion latencies).
+	MUFULatency int
+	IDIVLatency int
+	S2RLatency  int
+	// VarLatencyDefault covers remaining variable-latency ops (SHFL,
+	// ...).
+	VarLatencyDefault int
+
+	// Pruning upper bounds for variable-latency units (the blamer's
+	// latency-based rule).
+	MUFULatencyBound int
+	S2RLatencyBound  int
+
+	// Issue (dispatch) costs in cycles: how long the issuing pipe is
+	// busy per instruction. These model throughput, not latency (e.g.
+	// FP64 runs at half rate on V100/A100, 1/32 rate on T4).
+	FP64IssueCost    int
+	MUFUIssueCost    int
+	ConvertIssueCost int
+	GlobalIssueCost  int // global/local/generic memory
+	SharedIssueCost  int // shared/constant memory
+
+	// Front-end and block-machinery costs charged by the simulator.
+	ICacheLineInstrs     int // i-cache line size in instructions
+	FetchSerializeCycles int // shared fetch unit occupancy per miss
+	BlockLaunchOverhead  int // cycles to rotate a fresh block in
+	// UncoalescedPenalty is the serialization cost per extra memory
+	// transaction of an uncoalesced access.
+	UncoalescedPenalty int
 }
 
 // FixedLatency returns the result latency in cycles of a fixed-latency
 // instruction: the number of cycles before a dependent instruction may
-// issue. Values follow published Volta microbenchmarking (Jia et al.).
+// issue. Values follow published microbenchmarking (Jia et al. for
+// Volta and Turing, Luo et al. for Ampere).
 func (g *GPU) FixedLatency(op sass.Opcode, mods sass.ModMask) int {
 	switch op.Info().Class {
 	case sass.ClassIntFixed:
 		if op == sass.OpIMAD && mods.Has(sass.ModWide) {
-			return 5
+			return g.IMADWideLatency
 		}
-		return 4
+		return g.ALULatency
 	case sass.ClassFP32Fixed:
-		return 4
+		return g.ALULatency
 	case sass.ClassFP64:
-		return 8
+		return g.FP64Latency
 	case sass.ClassConvert:
-		// Conversions run on the FP64/XU path on Volta: long latency.
-		return 14
+		return g.ConvertLatency
 	case sass.ClassMisc:
-		return 4
+		return g.ALULatency
 	case sass.ClassControl:
-		return 2
+		return g.ControlLatency
 	}
 	// Variable-latency classes have no fixed latency; callers should
 	// use VariableLatencyBound for pruning.
@@ -133,10 +154,10 @@ func (g *GPU) VariableLatencyBound(op sass.Opcode) int {
 	case sass.ClassMemConst:
 		return g.ConstMissLatency
 	case sass.ClassMUFU:
-		return 64
+		return g.MUFULatencyBound
 	}
 	if op == sass.OpS2R {
-		return 32
+		return g.S2RLatencyBound
 	}
 	return 0
 }
@@ -152,23 +173,49 @@ func (g *GPU) LatencyBound(op sass.Opcode, mods sass.ModMask) int {
 
 // IssueCost returns the scheduler dispatch occupancy in cycles for one
 // instruction: how long the issuing pipe is busy before another
-// instruction of the same class can issue from this scheduler. It models
-// throughput, not latency (e.g. FP64 on V100 runs at half rate, MUFU at
-// quarter rate).
+// instruction of the same class can issue from this scheduler.
 func (g *GPU) IssueCost(op sass.Opcode) int {
 	switch op.Info().Class {
 	case sass.ClassFP64:
-		return 2
+		return g.FP64IssueCost
 	case sass.ClassMUFU:
-		return 4
+		return g.MUFUIssueCost
 	case sass.ClassConvert:
-		return 2
+		return g.ConvertIssueCost
 	case sass.ClassMemGlobal, sass.ClassMemLocal, sass.ClassMemGeneric:
-		return 2
+		return g.GlobalIssueCost
 	case sass.ClassMemShared, sass.ClassMemConst:
-		return 1
+		return g.SharedIssueCost
 	}
 	return 1
+}
+
+// VariableBaseLatency returns the simulator's default completion
+// latency for a variable-latency instruction (workloads can override it
+// per site).
+func (g *GPU) VariableBaseLatency(op sass.Opcode) int {
+	switch op.Info().Class {
+	case sass.ClassMemGlobal, sass.ClassMemGeneric:
+		if op == sass.OpATOM || op == sass.OpRED {
+			return g.AtomicLatency
+		}
+		return g.GlobalLatency
+	case sass.ClassMemLocal:
+		return g.LocalLatency
+	case sass.ClassMemShared:
+		return g.SharedLatency
+	case sass.ClassMemConst:
+		return g.ConstLatency
+	case sass.ClassMUFU:
+		if op == sass.OpIDIV {
+			return g.IDIVLatency
+		}
+		return g.MUFULatency
+	}
+	if op == sass.OpS2R {
+		return g.S2RLatency
+	}
+	return g.VarLatencyDefault
 }
 
 // Occupancy describes the resident-warp situation of a kernel launch on

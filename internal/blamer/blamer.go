@@ -14,6 +14,14 @@
 //     by issue counts and path lengths (Equation 1), finally
 //     reclassifying dependencies into the detailed taxonomy of Figure 5
 //     (local/constant/global memory; shared/WAR/arithmetic execution).
+//
+// In the Figure 2 pipeline the blamer is the middle of the offline
+// analyzer: input is one function's structure (structure.FuncStructure),
+// its per-PC sample statistics and issue counts from the profiler, and
+// the arch.GPU model whose latency bounds drive the latency-based
+// pruning rule (Section 4.3); output is a Result — the surviving blame
+// edges with apportioned stall mass — that the advisor's optimizers
+// match against.
 package blamer
 
 import (

@@ -1,13 +1,17 @@
 // Package cfg builds control flow graphs over SASS functions and derives
 // the structural facts GPA's analyses consume: basic blocks, dominators,
 // natural loop nests, and instruction-level path queries (used by the
-// blamer's dominator- and latency-based pruning rules and by its stall
-// apportioning heuristics).
+// blamer's dominator- and latency-based pruning rules, Section 4.3, and
+// by its stall apportioning heuristics, Section 4.4).
 //
-// Mirroring the paper's static analyzer, construction happens in two
-// steps: a disassembler-style pass first yields "super blocks" (runs of
-// instructions terminated only by control transfers, as nvdisasm emits),
-// which are then split at branch targets into proper basic blocks.
+// In the Figure 2 pipeline this is the static analyzer's first half:
+// input is one *sass.Function, output a *CFG whose loop nests feed both
+// the structure package (program structure file) and the advisor's
+// Equation 5 scope analysis. Mirroring the paper's static analyzer,
+// construction happens in two steps: a disassembler-style pass first
+// yields "super blocks" (runs of instructions terminated only by
+// control transfers, as nvdisasm emits), which are then split at branch
+// targets into proper basic blocks.
 package cfg
 
 import (

@@ -1,10 +1,14 @@
 // Package cubin implements a binary container for GPU modules, playing
-// the role NVIDIA CUBIN files play for GPA: it stores an architecture
-// flag, function symbols with their visibility (global kernels vs device
-// functions), fixed-length encoded instruction streams, a line-mapping
-// table, and inline stacks. GPA's profiler records these containers at
-// runtime; the static analyzer later unpacks them to recover control
-// flow, program structure, and architectural features.
+// the role NVIDIA CUBIN files play for GPA (Section 3, Figure 2's
+// "binaries" input): it stores an architecture flag, function symbols
+// with their visibility (global kernels vs device functions),
+// fixed-length encoded instruction streams, a line-mapping table, and
+// inline stacks. GPA's profiler records these containers at runtime;
+// the static analyzer later unpacks them to recover control flow,
+// program structure, and architectural features. Input/output is the
+// Pack/Unpack pair between *sass.Module and a byte blob; the stored
+// architecture flag is what arch.ByArchFlag resolves to a GPU model
+// (sm_70 → V100, sm_75 → T4, sm_80 → A100).
 package cubin
 
 import (

@@ -1,17 +1,26 @@
-// Package gpusim simulates the execution of SASS kernels on a
-// Volta-style GPU at cycle granularity: streaming multiprocessors with
-// four warp schedulers each, scoreboard barriers for variable-latency
+// Package gpusim simulates the execution of SASS kernels on a modeled
+// GPU at cycle granularity: streaming multiprocessors with per-model
+// warp scheduler counts, scoreboard barriers for variable-latency
 // dependencies, per-opcode fixed latencies and pipe throughputs, an MSHR
 // pool that produces memory-throttle stalls, an instruction cache that
 // produces fetch stalls on far control transfers, and named-barrier
-// (BAR.SYNC) synchronization.
+// (BAR.SYNC) synchronization. Every architectural parameter — geometry,
+// latency tables, issue costs, front-end costs — comes from the
+// arch.GPU model in Config (the paper's V100 by default; Turing and
+// Ampere models are registered alongside it).
 //
-// This package substitutes for the V100 hardware in the GPA paper: it
-// executes the same fixed-length ISA and exposes the same PC-sampling
-// surface (periodic per-scheduler samples carrying a PC, an
-// active/latency flag, and a CUPTI-style stall reason), so everything
-// downstream — profiler, instruction blamer, optimizers, estimators —
-// exercises the code paths the paper describes.
+// This package substitutes for the GPU hardware in the GPA paper
+// (Section 2): it executes the same fixed-length ISA and exposes the
+// same PC-sampling surface (periodic per-scheduler samples carrying a
+// PC, an active/latency flag, and a CUPTI-style stall reason), so
+// everything downstream — profiler, instruction blamer, optimizers,
+// estimators — exercises the code paths the paper describes. Input is a
+// flattened Program, a LaunchConfig, an optional Workload (trip counts,
+// memory behaviour), and a Config carrying the arch.GPU model; output
+// is a Result (cycles, issue counts, occupancy) plus the ordered sample
+// stream delivered to Config.Sink. Runs are deterministic for a fixed
+// seed at every Parallelism level: concurrent SMs buffer their samples
+// and drain in SM order.
 package gpusim
 
 import (

@@ -8,17 +8,6 @@ import (
 	"gpa/internal/sass"
 )
 
-// icacheLineInstrs is the instruction-cache line size in instructions.
-const icacheLineInstrs = 32
-
-// blockLaunchOverhead is the cycle cost of rotating a finished block
-// slot to a fresh block.
-const blockLaunchOverhead = 25
-
-// fetchSerializeCycles is the shared fetch unit's occupancy per
-// instruction-cache miss.
-const fetchSerializeCycles = 24
-
 // farFuture is the sentinel "no event scheduled" cycle.
 const farFuture = int64(1<<62 - 1)
 
@@ -66,8 +55,10 @@ type scheduler struct {
 	// 0 forces a scan; events that can wake warps asynchronously (MSHR
 	// release, barrier release, block rotation) reset it.
 	nextReady int64
-	// unitBusy models per-partition execution-unit throughput: each
-	// scheduler owns its FP32/INT/FP64/SFU pipes on Volta.
+	// unitBusy models per-partition execution-unit throughput: on
+	// Volta-family SMs (Volta, Turing, Ampere) each scheduler owns its
+	// FP32/INT/FP64/SFU pipes; the per-class costs come from
+	// arch.GPU.IssueCost.
 	unitBusy [16]int64 // per exec class
 }
 
@@ -107,32 +98,7 @@ func buildRunTables(p *Program, wl Workload, g *arch.GPU) *runTables {
 		if p.meta[i].flags&metaVarLat == 0 {
 			continue
 		}
-		var base int
-		switch p.meta[i].class {
-		case sass.ClassMemGlobal, sass.ClassMemGeneric:
-			base = g.GlobalLatency
-			if in.Opcode == sass.OpATOM || in.Opcode == sass.OpRED {
-				base = g.AtomicLatency
-			}
-		case sass.ClassMemLocal:
-			base = g.LocalLatency
-		case sass.ClassMemShared:
-			base = g.SharedLatency
-		case sass.ClassMemConst:
-			base = g.ConstLatency
-		case sass.ClassMUFU:
-			base = 24
-			if in.Opcode == sass.OpIDIV {
-				base = 52
-			}
-		default:
-			if in.Opcode == sass.OpS2R {
-				base = 20
-			} else {
-				base = 16
-			}
-		}
-		rt.baseLat[i] = int64(base)
+		rt.baseLat[i] = int64(g.VariableBaseLatency(in.Opcode))
 	}
 	return rt
 }
@@ -166,6 +132,9 @@ type sm struct {
 	icacheUse      []int64
 	icacheResident int
 	icacheCap      int
+	// icacheLine caches GPU.ICacheLineInstrs: line membership is checked
+	// on every sequential-flow issue.
+	icacheLine int
 	// fetchBusy serializes instruction-cache miss handling: the fetch
 	// unit services one miss at a time.
 	fetchBusy int64
@@ -188,8 +157,9 @@ func newSM(id int, p *Program, rt *runTables, wl Workload, cfg Config, launch La
 		blockQueue:  blocks,
 		mshrFree:    cfg.GPU.MSHRsPerSM,
 		minRelease:  farFuture,
-		icacheUse:   make([]int64, (len(p.Instrs)+icacheLineInstrs-1)/icacheLineInstrs),
-		icacheCap:   max(1, cfg.GPU.ICacheInstrs/icacheLineInstrs),
+		icacheLine:  cfg.GPU.ICacheLineInstrs,
+		icacheUse:   make([]int64, (len(p.Instrs)+cfg.GPU.ICacheLineInstrs-1)/cfg.GPU.ICacheLineInstrs),
+		icacheCap:   max(1, cfg.GPU.ICacheInstrs/cfg.GPU.ICacheLineInstrs),
 		issuedPerPC: make([]int64, len(p.Instrs)),
 		warpsPerBlk: warpsPerBlock,
 		sink:        sink,
@@ -259,7 +229,7 @@ func (s *sm) startBlock(slot int, now int64) bool {
 				GlobalWarp:  blockID*s.warpsPerBlk + wi,
 			},
 			pc:        s.entry,
-			nextIssue: now + blockLaunchOverhead,
+			nextIssue: now + int64(s.gpu.BlockLaunchOverhead),
 			visits:    visits,
 		}
 	}
@@ -358,7 +328,7 @@ func (s *sm) memLatency(w *warpState, pc int, tx int) int64 {
 	// Uncoalesced accesses serialize their extra transactions.
 	extra := int64(0)
 	if tx > 1 && s.meta[pc].flags&metaNeedMSHR != 0 {
-		extra = int64(tx-1) * 28
+		extra = int64(tx-1) * int64(s.gpu.UncoalescedPenalty)
 	}
 	lat := base + jitter + extra
 	if lat < 2 {
@@ -391,14 +361,14 @@ func barrierReasonFor(op sass.Opcode) StallReason {
 // icacheCheck models the instruction cache at a control transfer to
 // target; sequential flow never misses (hardware prefetches linearly).
 func (s *sm) icacheCheck(w *warpState, target int, now int64) {
-	line := target / icacheLineInstrs
+	line := target / s.icacheLine
 	if s.icacheUse[line] >= 0 {
 		s.icacheUse[line] = now
 		return
 	}
 	// Miss: evict LRU if full, install, stall the warp. Misses are
 	// serviced through a shared fetch unit, so concurrent misses
-	// serialize (fetchSerializeCycles each).
+	// serialize (GPU.FetchSerializeCycles each).
 	if s.icacheResident >= s.icacheCap {
 		lruLine := -1
 		lruCycle := farFuture
@@ -417,7 +387,7 @@ func (s *sm) icacheCheck(w *warpState, target int, now int64) {
 		start = s.fetchBusy
 	}
 	w.fetchReady = start + int64(s.gpu.IFetchMissLatency)
-	s.fetchBusy = start + fetchSerializeCycles
+	s.fetchBusy = start + int64(s.gpu.FetchSerializeCycles)
 }
 
 // issue executes one instruction for warp w at cycle now.
@@ -475,7 +445,7 @@ func (s *sm) issue(sc *scheduler, widx int, now int64) {
 			s.icacheCheck(w, w.pc, now)
 		} else {
 			w.pc = pc + 1
-			if w.pc/icacheLineInstrs != pc/icacheLineInstrs {
+			if w.pc/s.icacheLine != pc/s.icacheLine {
 				s.icacheCheck(w, w.pc, now)
 			}
 		}
@@ -503,7 +473,7 @@ func (s *sm) issue(sc *scheduler, widx int, now int64) {
 		w.pc = pc + 1
 		// Sequential flow fetches new lines as well: bodies larger than
 		// the cache evict their own head and pay misses continuously.
-		if w.pc/icacheLineInstrs != pc/icacheLineInstrs {
+		if w.pc/s.icacheLine != pc/s.icacheLine {
 			s.icacheCheck(w, w.pc, now)
 		}
 	}

@@ -22,7 +22,11 @@ func Coverage(b *Benchmark, ro RunOptions) (before, after float64, err error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	ctx, err := adv.BuildContext(k.Module, prof, arch.VoltaV100(), blamer.Options{})
+	gpu := ro.GPU
+	if gpu == nil {
+		gpu = arch.VoltaV100()
+	}
+	ctx, err := adv.BuildContext(k.Module, prof, gpu, blamer.Options{})
 	if err != nil {
 		return 0, 0, err
 	}

@@ -16,6 +16,14 @@
 // signature through the same simulator mechanics, so optimizer matching,
 // speedup estimation, and achieved-speedup measurement run end to end
 // (see DESIGN.md, "Substitutions").
+//
+// The rows drive the whole Figure 2 pipeline: Benchmark.Run measures
+// baseline and optimized variants and extracts the advisor's estimate,
+// producing the Achieved/Estimated/Error columns of Table 3.
+// RunOptions.GPU selects the architecture model the row runs on — the
+// paper's V100 by default, or any registered model for cross-arch
+// sweeps (the kernels assemble as sm_70 modules; the launch shapes were
+// tuned on V100 geometry but run on every model whose limits they fit).
 package kernels
 
 import (
@@ -24,6 +32,7 @@ import (
 	"sort"
 
 	"gpa"
+	"gpa/internal/arch"
 	"gpa/internal/par"
 )
 
@@ -98,6 +107,10 @@ type Outcome struct {
 
 // RunOptions tunes a reproduction run.
 type RunOptions struct {
+	// GPU selects the architecture model the row runs on (nil = the
+	// paper's V100). Every measurement and the advice report use the
+	// same model.
+	GPU          *arch.GPU
 	SimSMs       int
 	SamplePeriod int
 	Seed         uint64
@@ -124,6 +137,7 @@ func (o RunOptions) options() *gpa.Options {
 		parallelism = 1
 	}
 	return &gpa.Options{
+		GPU:    o.GPU,
 		SimSMs: simSMs, SamplePeriod: o.SamplePeriod, Seed: o.Seed,
 		Parallelism: parallelism,
 	}

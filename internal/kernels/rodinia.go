@@ -3,11 +3,12 @@ package kernels
 import "gpa"
 
 // Rodinia benchmark rows of Table 3. Launch shapes keep full occupancy
-// (grid 640 = 8 resident blocks per SM on an 80-SM V100) unless the
-// row's inefficiency is occupancy itself; rows that need low resident
-// warp counts without matching the parallel optimizers use register
-// pressure as the occupancy limiter, as register-heavy Rodinia kernels
-// do in reality.
+// on the default V100 model (grid 640 = 8 resident blocks per SM on its
+// 80 SMs; other architectures see the same grid through their own
+// geometry) unless the row's inefficiency is occupancy itself; rows
+// that need low resident warp counts without matching the parallel
+// optimizers use register pressure as the occupancy limiter, as
+// register-heavy Rodinia kernels do in reality.
 
 // fullLaunch is the standard full-occupancy launch.
 func fullLaunch(entry string) gpa.Launch {

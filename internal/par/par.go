@@ -1,6 +1,9 @@
 // Package par provides the bounded-worker fan-out primitive shared by
-// the simulator (concurrent SMs), the benchmark driver (row sweeps),
-// and the per-row measurement runner.
+// the simulator (concurrent SMs), the benchmark driver (row and
+// cross-architecture sweeps), and the per-row measurement runner. It
+// carries no pipeline semantics of its own: callers store results by
+// index, so every use preserves the deterministic ordering the
+// pipeline's outputs are compared by.
 package par
 
 import "sync"

@@ -1,9 +1,21 @@
 // Package profiler drives a simulated kernel launch with PC sampling
 // enabled and condenses the result into a serializable profile, playing
-// the role of GPA's runtime profiler: it records kernel launch
-// statistics (grid, block, occupancy, duration) plus per-PC sample
-// counters, attributed to functions by name and function-local PC so the
-// offline analyzers can join them with CUBIN-derived structure.
+// the role of GPA's runtime profiler (Section 3, the online half of
+// Figure 2): it records kernel launch statistics (grid, block,
+// occupancy, duration) plus per-PC sample counters, attributed to
+// functions by name and function-local PC so the offline analyzers can
+// join them with CUBIN-derived structure.
+//
+// Input is a loaded program, a launch config, a workload, and Options
+// selecting the architecture model. When this package is driven
+// directly with a nil Options.GPU, the module's recorded SM flag is
+// resolved through the arch registry (an sm_75 module profiles on the
+// T4 model); note the public gpa API instead defaults a nil
+// Options.GPU to the V100 before calling in here. Output is a
+// *Profile — including the warps-per-scheduler W and issue ratio RI of
+// Equations 6-9, and the non-default architecture model it was taken
+// on — that Save/LoadFile round-trip through JSON for offline
+// analysis.
 package profiler
 
 import (
@@ -57,8 +69,17 @@ type PCRecord struct {
 
 // Profile is one kernel launch's measurement record.
 type Profile struct {
-	Kernel          string `json:"kernel"`
-	Arch            int    `json:"arch"`
+	Kernel string `json:"kernel"`
+	// Arch is the module's compile-target SM flag.
+	Arch int `json:"arch"`
+	// GPU is the canonical registry key of the architecture model the
+	// profile was taken on, when it differs from the default (the
+	// paper's V100). Empty means the default; offline analysis
+	// (gpa.AdviseFromProfile) resolves this so a T4 profile is not
+	// silently analyzed with V100 limits. Recording only the non-default
+	// case keeps default-profile digests (cmd/drift-check) stable across
+	// revisions.
+	GPU             string `json:"gpu,omitempty"`
 	Cycles          int64  `json:"cycles"`
 	Blocks          int    `json:"blocks"`
 	ThreadsPerBlock int    `json:"threadsPerBlock"`
@@ -121,9 +142,14 @@ func CollectProgram(prog *gpusim.Program, launch gpusim.LaunchConfig, wl gpusim.
 	samples := buf.Drain()
 	agg := sampling.AggregateSamples(samples, len(prog.Instrs))
 
+	gpuKey := arch.KeyOf(opts.GPU)
+	if gpuKey == arch.KeyOf(arch.VoltaV100()) {
+		gpuKey = "" // default model: omitted for digest stability
+	}
 	p := &Profile{
 		Kernel:            launch.Entry,
 		Arch:              mod.Arch,
+		GPU:               gpuKey,
 		Cycles:            res.Cycles,
 		Blocks:            res.BlocksLaunched,
 		ThreadsPerBlock:   res.ThreadsPerBlock,

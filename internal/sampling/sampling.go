@@ -5,6 +5,12 @@
 // the host. The package also aggregates raw samples into the per-PC
 // counters (total / active / latency samples and per-reason stalls) that
 // the dynamic analyzer consumes.
+//
+// In the Figure 2 pipeline this sits between the simulator and the
+// profiler: input is the simulator's ordered gpusim.Sample stream
+// (identical at every parallelism level and on every registered
+// architecture), output the Aggregate the profiler serializes. The
+// sample counts here are the T, A, and L quantities of Equations 2-5.
 package sampling
 
 import (

@@ -1,17 +1,24 @@
-// Package sass models a Volta-style GPU instruction set architecture:
-// fixed-length 128-bit instructions carrying an opcode, modifiers, a guard
-// predicate, register/memory/immediate operands, and a control code with
-// stall cycles, a yield flag, write/read barrier indices and a wait mask
-// (see Table 1 of the GPA paper).
+// Package sass models the GPU instruction set architecture the
+// pipeline's kernels are written in: fixed-length 128-bit instructions
+// carrying an opcode, modifiers, a guard predicate,
+// register/memory/immediate operands, and a control code with stall
+// cycles, a yield flag, write/read barrier indices and a wait mask (see
+// Table 1 of the GPA paper). This encoding was introduced with Volta
+// and is shared by Turing and Ampere; which architecture model a module
+// targets is recorded as an SM flag (.module sm_70) and resolved by
+// internal/arch, not here.
 //
-// The package provides:
+// In the Figure 2 pipeline this package is the front door: kernel
+// source (SASS text) or a CUBIN payload comes in, a *Module of typed
+// instructions comes out, consumed by the simulator, the CFG builder,
+// and the blamer's def/use slicing. The package provides:
 //
 //   - typed registers (general purpose, predicate, virtual barrier,
 //     special),
 //   - an opcode table with dependency-relevant properties (memory space,
 //     fixed vs variable latency, execution pipeline),
 //   - def/use extraction including the virtual barrier registers B0-B5
-//     that the GPA instruction blamer slices over,
+//     that the GPA instruction blamer slices over (Section 4.1),
 //   - a textual assembler/disassembler for writing kernels by hand, and
 //   - a binary codec packing each instruction into a 128-bit word.
 package sass

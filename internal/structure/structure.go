@@ -1,9 +1,13 @@
-// Package structure recovers GPA's program-structure file from a module:
-// function symbols annotated with visibility, loop nests (via control
-// flow analysis), inline stacks, and source line mappings. Optimizers
-// use it to scope stalls to lines, loops, and functions, and the report
-// renderer uses it to print hotspot locations the way Figure 8 of the
-// paper does ("0x1620 at Line 34 in Loop at Line 30").
+// Package structure recovers GPA's program-structure file from a module
+// (Section 3's static analyzer, the offline half of Figure 2): function
+// symbols annotated with visibility, loop nests (via control flow
+// analysis), inline stacks, and source line mappings. Input is a
+// *sass.Module; output a *Structure of per-function FuncStructure
+// values joining the CFG with line information. Optimizers use it to
+// scope stalls to lines, loops, and functions (Equation 5's loop
+// scopes), and the report renderer uses it to print hotspot locations
+// the way Figure 8 of the paper does ("0x1620 at Line 34 in Loop at
+// Line 30").
 package structure
 
 import (

@@ -1,0 +1,41 @@
+#!/usr/bin/env sh
+# Fails when any Go package in the module is missing a package-level doc
+# comment (a "// Package <name> ..." paragraph directly above its
+# package clause in at least one file). Commands (package main) must
+# carry a "// Command <name> ..." comment instead. This is the docs
+# gate for the contributor documentation pass; run it from the repo
+# root. go vet (run separately in CI) catches malformed comments; this
+# catches absent ones.
+set -eu
+
+fail=0
+for dir in . ./internal/* ./cmd/* ./examples/*; do
+    [ -d "$dir" ] || continue
+    ls "$dir"/*.go >/dev/null 2>&1 || continue
+    pkg=$(basename "$dir")
+    [ "$dir" = "." ] && pkg=gpa
+    ok=0
+    for f in "$dir"/*.go; do
+        case "$f" in *_test.go) continue ;; esac
+        # Accept "// Package <pkg>" for libraries and "// Command <pkg>"
+        # for mains; examples are mains documented by a leading comment
+        # of any form.
+        if grep -q "^// Package $pkg" "$f" || grep -q "^// Command $pkg" "$f"; then
+            ok=1
+            break
+        fi
+        case "$dir" in
+        ./examples/*)
+            if head -1 "$f" | grep -q '^//'; then
+                ok=1
+                break
+            fi
+            ;;
+        esac
+    done
+    if [ "$ok" -eq 0 ]; then
+        echo "missing package doc comment: $dir (want '// Package $pkg ...' or '// Command $pkg ...')" >&2
+        fail=1
+    fi
+done
+exit $fail
