@@ -4,8 +4,6 @@
 package main
 
 import (
-	"crypto/sha256"
-	"encoding/json"
 	"fmt"
 
 	"gpa"
@@ -27,10 +25,10 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
-		data, err := json.Marshal(prof)
+		digest, err := prof.Digest()
 		if err != nil {
 			panic(err)
 		}
-		fmt.Printf("%-60s cycles=%-10d profile=%x\n", b.ID(), cycles, func() []byte { h := sha256.Sum256(data); return h[:8] }())
+		fmt.Printf("%-60s cycles=%-10d profile=%s\n", b.ID(), cycles, digest[:16])
 	}
 }

@@ -15,10 +15,13 @@ import (
 
 // runArchSweep reproduces Table 3 on every registered architecture and
 // prints a per-architecture comparison: the same rows, the same seeds,
-// N GPU models. All (arch, row) cells run concurrently over a
-// GOMAXPROCS-bounded worker pool; the simulator is deterministic per
-// architecture, so the report does not depend on scheduling. smokeRows
-// > 0 limits the sweep to the first smokeRows rows (the CI smoke mode).
+// N GPU models. With -parallel every (arch, row) cell submits its
+// measurements to the shared engine, whose worker pool bounds how many
+// simulate at once; the simulator is deterministic per architecture,
+// so the report does not depend on scheduling, and cells already
+// served by an earlier mode in the same invocation (-table3 on the
+// default arch) come back from the engine's cache. smokeRows > 0
+// limits the sweep to the first smokeRows rows (the CI smoke mode).
 func runArchSweep(cfg sweepConfig, jsonOut string, smokeRows int) error {
 	gpus := arch.All()
 	rows := kernels.All()
@@ -31,7 +34,15 @@ func runArchSweep(cfg sweepConfig, jsonOut string, smokeRows int) error {
 		err error
 	}
 	cells := make([]cell, len(gpus)*len(rows))
-	par.Do(len(cells), runtime.GOMAXPROCS(0), func(i int) {
+	// The arch sweep is inherently a fan-out, so it always runs on a
+	// shared engine (main wires one in even without -parallel); the
+	// cells are pure job producers and the engine's pool bounds the
+	// actual simulations.
+	workers := runtime.GOMAXPROCS(0)
+	if cfg.engine != nil {
+		workers = len(cells)
+	}
+	par.Do(len(cells), workers, func(i int) {
 		g, b := gpus[i/len(rows)], rows[i%len(rows)]
 		ro := cfg.runOptions()
 		ro.GPU = g

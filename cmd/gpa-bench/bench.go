@@ -32,6 +32,12 @@ type benchSnapshot struct {
 
 	Stages []stageResult `json:"stages"`
 
+	// Engine records advice-engine throughput over every Table 3
+	// baseline kernel (gpa.NewEngine + AdviseAll): cold (every job
+	// simulates) vs warm (every job is a cache hit), at worker-pool
+	// sizes 1 and 4.
+	Engine []engineStageResult `json:"engine,omitempty"`
+
 	// ParallelSpeedup is simulate_seq / simulate_par (concurrent SMs).
 	ParallelSpeedup float64 `json:"parallelSpeedup"`
 	// BaselineSimulateNs is an externally measured reference for the
@@ -45,6 +51,18 @@ type benchSnapshot struct {
 type stageResult struct {
 	Name    string  `json:"name"`
 	NsPerOp float64 `json:"nsPerOp"`
+}
+
+type engineStageResult struct {
+	Name    string `json:"name"`
+	Workers int    `json:"workers"`
+	// Cached is true for the warm passes (pure cache, no simulation).
+	Cached bool `json:"cached"`
+	// Kernels is the batch size (the Table 3 row count).
+	Kernels       int     `json:"kernels"`
+	Reps          int     `json:"reps"`
+	NsPerKernel   float64 `json:"nsPerKernel"`
+	KernelsPerSec float64 `json:"kernelsPerSec"`
 }
 
 // timeStage runs fn reps times and returns the mean ns/op.
@@ -127,6 +145,15 @@ func runBenchSnapshot(path string, reps int, seed uint64, baselineNs float64, gp
 		snap.Stages = append(snap.Stages, stageResult{Name: st.name, NsPerOp: ns})
 		fmt.Printf("bench: %-14s %14.0f ns/op\n", st.name, ns)
 	}
+	engineStages, err := benchEngine(reps, seed, gpu)
+	if err != nil {
+		return fmt.Errorf("bench: engine: %w", err)
+	}
+	snap.Engine = engineStages
+	for _, st := range engineStages {
+		fmt.Printf("bench: %-14s %14.0f ns/kernel (%.1f kernels/sec, %d workers)\n",
+			st.Name, st.NsPerKernel, st.KernelsPerSec, st.Workers)
+	}
 	if byName["simulate_par"] > 0 {
 		snap.ParallelSpeedup = byName["simulate_seq"] / byName["simulate_par"]
 	}
@@ -143,6 +170,71 @@ func runBenchSnapshot(path string, reps int, seed uint64, baselineNs float64, gp
 	}
 	fmt.Printf("wrote %s\n", path)
 	return nil
+}
+
+// benchEngine times the advice engine over every Table 3 baseline
+// kernel: a cold pass (fresh engine, every job simulates) and a warm
+// pass (same engine again, every job a cache hit), at worker-pool
+// sizes 1 and 4. Throughput is kernels advised per second of
+// wall-clock batch time.
+func benchEngine(reps int, seed uint64, gpu *arch.GPU) ([]engineStageResult, error) {
+	rows := kernels.All()
+	jobs := make([]gpa.Job, len(rows))
+	for i, b := range rows {
+		k, wl, err := b.Base.Build()
+		if err != nil {
+			return nil, err
+		}
+		jobs[i] = gpa.Job{
+			Kind:   gpa.JobAdvise,
+			Kernel: k,
+			Options: &gpa.Options{
+				GPU: gpu, Workload: wl, Seed: seed, SimSMs: 1, Parallelism: 1,
+			},
+			WorkloadKey: b.ID() + "/base",
+		}
+	}
+	doAll := func(eng *gpa.Engine) error {
+		for _, r := range eng.DoAll(jobs) {
+			if r.Err != nil {
+				return r.Err
+			}
+		}
+		return nil
+	}
+	// Cold passes re-simulate everything each rep, so they get a
+	// smaller rep count than the cheap warm passes.
+	coldReps := max(1, reps/5)
+	var out []engineStageResult
+	for _, workers := range []int{1, 4} {
+		opts := &gpa.EngineOptions{Workers: workers}
+		coldNs, err := timeStage(coldReps, func() error {
+			return doAll(gpa.NewEngine(opts)) // fresh engine: all misses
+		})
+		if err != nil {
+			return nil, err
+		}
+		warm := gpa.NewEngine(opts)
+		if err := doAll(warm); err != nil { // prewarm: fill the cache
+			return nil, err
+		}
+		warmNs, err := timeStage(reps, func() error { return doAll(warm) })
+		if err != nil {
+			return nil, err
+		}
+		for _, st := range []engineStageResult{
+			{Name: fmt.Sprintf("engine_cold_w%d", workers), Workers: workers,
+				Kernels: len(jobs), Reps: coldReps, NsPerKernel: coldNs / float64(len(jobs))},
+			{Name: fmt.Sprintf("engine_warm_w%d", workers), Workers: workers, Cached: true,
+				Kernels: len(jobs), Reps: reps, NsPerKernel: warmNs / float64(len(jobs))},
+		} {
+			if st.NsPerKernel > 0 {
+				st.KernelsPerSec = 1e9 / st.NsPerKernel
+			}
+			out = append(out, st)
+		}
+	}
+	return out, nil
 }
 
 // table3JSON is the -json serialization of a Table 3 sweep.

@@ -39,6 +39,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"gpa"
 	"gpa/internal/arch"
 	"gpa/internal/kernels"
 	"gpa/internal/par"
@@ -51,10 +52,32 @@ type sweepConfig struct {
 	// gpu is the architecture the single-arch modes run on (nil = the
 	// paper's V100).
 	gpu *arch.GPU
+	// engine is the shared scheduler every -parallel sweep funnels its
+	// simulations through: one machine-wide worker pool plus a
+	// content-addressed cache, so running -table3 and -arch-sweep in
+	// the same invocation re-serves the overlapping (kernel, arch,
+	// seed) cells from cache instead of re-simulating them. nil runs
+	// rows sequentially in-process.
+	engine *gpa.Engine
 }
 
 func (c sweepConfig) runOptions() kernels.RunOptions {
-	return kernels.RunOptions{GPU: c.gpu, Seed: c.seed, Parallel: c.parallel}
+	return kernels.RunOptions{GPU: c.gpu, Seed: c.seed, Parallel: c.parallel, Engine: c.engine}
+}
+
+// sweepWorkers is how many rows a sweep submits concurrently: with a
+// shared engine the rows are just job producers (the engine's pool
+// bounds actual simulations), so every row is submitted at once;
+// without one, row-level concurrency is the only level there is, and
+// GOMAXPROCS bounds it.
+func (c sweepConfig) sweepWorkers(rows int) int {
+	if !c.parallel {
+		return 1
+	}
+	if c.engine != nil {
+		return rows
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func main() {
@@ -102,6 +125,9 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 	cfg := sweepConfig{seed: *seed, parallel: *parallel}
+	if *parallel || *archSweep {
+		cfg.engine = gpa.NewEngine(nil)
+	}
 	if *archName != "" {
 		g, err := arch.Lookup(*archName)
 		if err != nil {
@@ -154,15 +180,12 @@ func fail(err error) {
 }
 
 // sweep runs every benchmark in rows, concurrently when cfg.parallel is
-// set, preserving row order in the returned slice.
+// set (through the shared engine's worker pool when one is configured),
+// preserving row order in the returned slice.
 func sweep(rows []*kernels.Benchmark, cfg sweepConfig) ([]*kernels.Outcome, error) {
 	outs := make([]*kernels.Outcome, len(rows))
 	errs := make([]error, len(rows))
-	workers := 1
-	if cfg.parallel {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	par.Do(len(rows), workers, func(i int) {
+	par.Do(len(rows), cfg.sweepWorkers(len(rows)), func(i int) {
 		outs[i], errs[i] = rows[i].Run(cfg.runOptions())
 	})
 	for _, err := range errs {

@@ -18,6 +18,11 @@
 //	gpa advise -asm kernel.sass -entry mykernel -grid 640 -block 256
 //	    Assemble a SASS file, profile it, and print advice.
 //
+//	cat kernel.sass | gpa advise -asm - -entry mykernel
+//	    Same, reading the SASS text from stdin ('-asm -'). All commands
+//	    exit non-zero on assembly or analysis errors, so the CLI
+//	    composes in shell pipelines.
+//
 //	gpa profile -asm kernel.sass -entry mykernel -o profile.json
 //	    Run the profiler only and save the profile for offline analysis.
 //
@@ -28,6 +33,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"gpa"
@@ -72,7 +78,10 @@ func usage() {
   gpa archs
   gpa advise  -bench NAME | -asm FILE -entry K [-arch NAME] [-grid N] [-block N] [-regs N] [-shared N]
   gpa profile -asm FILE -entry K [-arch NAME] [-grid N] [-block N] -o PROFILE.json
-  gpa analyze -asm FILE -profile PROFILE.json`)
+  gpa analyze -asm FILE -profile PROFILE.json
+
+-asm accepts '-' to read the SASS text from stdin; every command exits
+non-zero on assembly or analysis errors.`)
 }
 
 func runList() error {
@@ -130,15 +139,23 @@ func (lf *launchFlags) gpu() (*arch.GPU, error) {
 
 func (lf *launchFlags) kernel() (*gpa.Kernel, *gpa.Options, error) {
 	if lf.asm == "" {
-		return nil, nil, fmt.Errorf("missing -asm FILE")
+		return nil, nil, fmt.Errorf("missing -asm FILE (use '-asm -' to read stdin)")
 	}
 	gpu, err := lf.gpu()
 	if err != nil {
 		return nil, nil, err
 	}
-	src, err := os.ReadFile(lf.asm)
-	if err != nil {
-		return nil, nil, err
+	var src []byte
+	if lf.asm == "-" {
+		src, err = io.ReadAll(os.Stdin)
+		if err != nil {
+			return nil, nil, fmt.Errorf("reading stdin: %w", err)
+		}
+	} else {
+		src, err = os.ReadFile(lf.asm)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	k, err := gpa.LoadKernelAsm(string(src), gpa.Launch{
 		Entry: lf.entry, GridX: lf.grid, BlockX: lf.block,

@@ -1,0 +1,96 @@
+// Command gpad is the GPU performance advisor daemon: a long-running
+// HTTP JSON service in front of the Figure 2 pipeline, built on the
+// shared batch engine (gpa.NewEngine / internal/service). Every
+// request is resolved through a content-addressed result cache and a
+// singleflight table before it is allowed to cost a simulation, so N
+// identical concurrent requests cost one simulation and repeated
+// requests cost none; a bounded worker pool caps concurrent
+// simulations machine-wide.
+//
+// Endpoints:
+//
+//	POST /v1/advise   Advise one kernel (SASS text, CUBIN blob, or a
+//	                  bundled Table 3 benchmark by name). Returns the
+//	                  ranked advice, the rendered Figure 8 report text
+//	                  (byte-identical between cold runs and cache
+//	                  hits), cycles, the cache key, and a stable
+//	                  profile digest for drift checks.
+//	POST /v1/profile  Run the sampling profiler only; returns the
+//	                  profile JSON for offline analysis.
+//	POST /v1/batch    Fan a list of requests (mixed kinds: advise,
+//	                  profile, measure) through the engine at once.
+//	POST /v1/sweep    Advise one kernel on several architecture models
+//	                  ("archs": ["v100","t4"]; empty = all).
+//	GET  /v1/archs    List the registered GPU architecture models.
+//	GET  /healthz     Liveness probe.
+//	GET  /statsz      Engine counters: hits, misses, coalesced,
+//	                  inflight, runs, evictions, cache size.
+//
+// The simulator is deterministic, so gpad's responses are a pure
+// function of the request: two deployments answering the same request
+// must return the same profileDigest, which makes the cache safe and
+// the service horizontally scalable behind a dumb load balancer.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gpa"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8377", "listen address")
+	workers := flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	cacheEntries := flag.Int("cache-entries", 0,
+		"LRU result cache capacity (0 = 512, negative disables caching)")
+	flag.Parse()
+
+	eng := gpa.NewEngine(&gpa.EngineOptions{
+		Workers:      *workers,
+		CacheEntries: *cacheEntries,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(eng),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	cacheDesc := "disabled"
+	switch {
+	case *cacheEntries == 0:
+		cacheDesc = "512 entries"
+	case *cacheEntries > 0:
+		cacheDesc = fmt.Sprintf("%d entries", *cacheEntries)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("gpad: serving on http://%s (workers=%d, cache %s)",
+		*addr, eng.Stats().Workers, cacheDesc)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "gpad:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		log.Printf("gpad: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "gpad: shutdown:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,430 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"gpa"
+	"gpa/internal/arch"
+	"gpa/internal/kernels"
+	"gpa/internal/profiler"
+	"gpa/internal/service"
+
+	adv "gpa/internal/advisor"
+)
+
+// maxBodyBytes bounds request bodies (SASS text and CUBIN blobs are
+// small; anything bigger is abuse).
+const maxBodyBytes = 8 << 20
+
+// server is the HTTP front end over one shared engine.
+type server struct {
+	eng     *gpa.Engine
+	started time.Time
+}
+
+// newServer builds the gpad handler around a shared engine.
+func newServer(eng *gpa.Engine) http.Handler {
+	s := &server{eng: eng, started: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/advise", s.post(s.handleAdvise))
+	mux.HandleFunc("/v1/profile", s.post(s.handleProfile))
+	mux.HandleFunc("/v1/batch", s.post(s.handleBatch))
+	mux.HandleFunc("/v1/sweep", s.post(s.handleSweep))
+	mux.HandleFunc("/v1/archs", s.get(s.handleArchs))
+	mux.HandleFunc("/healthz", s.get(s.handleHealthz))
+	mux.HandleFunc("/statsz", s.get(s.handleStatsz))
+	return mux
+}
+
+// kernelRequest is the JSON body shared by every kernel-submitting
+// endpoint: a kernel (bundled benchmark, SASS text, or CUBIN blob),
+// its launch shape, and the result-affecting options. Exactly one of
+// Bench, Asm, or Binary must be set.
+type kernelRequest struct {
+	// Bench names a bundled Table 3 benchmark ("rodinia/hotspot");
+	// its baseline kernel, launch, and workload are used.
+	Bench string `json:"bench,omitempty"`
+	// Asm is SASS assembly text.
+	Asm string `json:"asm,omitempty"`
+	// Binary is a CUBIN container blob (base64 in JSON).
+	Binary []byte `json:"binary,omitempty"`
+
+	// Entry is the kernel name (optional for single-kernel asm).
+	Entry string `json:"entry,omitempty"`
+	// Launch shape; omitted grid/block/regs fields default to the CLI's
+	// 640 blocks x 256 threads x 32 registers for Asm/Binary kernels.
+	GridX             int `json:"gridX,omitempty"`
+	GridY             int `json:"gridY,omitempty"`
+	GridZ             int `json:"gridZ,omitempty"`
+	BlockX            int `json:"blockX,omitempty"`
+	BlockY            int `json:"blockY,omitempty"`
+	BlockZ            int `json:"blockZ,omitempty"`
+	RegsPerThread     int `json:"regsPerThread,omitempty"`
+	SharedMemPerBlock int `json:"sharedMemPerBlock,omitempty"`
+
+	// Arch selects the GPU model (see /v1/archs; default v100).
+	Arch string `json:"arch,omitempty"`
+	// Kind selects the pipeline stage for /v1/batch entries ("advise",
+	// "profile", "measure"; default advise). Ignored by /v1/advise and
+	// /v1/profile, which fix their kind.
+	Kind         string  `json:"kind,omitempty"`
+	SamplePeriod int     `json:"samplePeriod,omitempty"`
+	SimSMs       int     `json:"simSMs,omitempty"`
+	Seed         *uint64 `json:"seed,omitempty"` // default 11
+}
+
+// job converts the request to an engine job.
+func (r *kernelRequest) job() (gpa.Job, error) {
+	var job gpa.Job
+	kind, err := service.ParseKind(r.Kind)
+	if err != nil {
+		return job, err
+	}
+	job.Kind = kind
+
+	opts := &gpa.Options{
+		SamplePeriod: r.SamplePeriod,
+		SimSMs:       r.SimSMs,
+		Seed:         11,
+	}
+	if r.Seed != nil {
+		opts.Seed = *r.Seed
+	}
+	if opts.SimSMs == 0 {
+		opts.SimSMs = 1 // the CLI's default: one detailed SM
+	}
+	if r.Arch != "" {
+		g, err := gpa.LookupGPU(r.Arch)
+		if err != nil {
+			return job, err
+		}
+		opts.GPU = g
+	}
+	job.Options = opts
+
+	sources := 0
+	for _, set := range []bool{r.Bench != "", r.Asm != "", len(r.Binary) > 0} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return job, fmt.Errorf("exactly one of bench, asm, or binary must be set")
+	}
+
+	if r.Bench != "" {
+		b := findBench(r.Bench)
+		if b == nil {
+			return job, fmt.Errorf("no bundled benchmark %q (see `gpa list`)", r.Bench)
+		}
+		k, wl, err := b.Base.Build()
+		if err != nil {
+			return job, err
+		}
+		opts.Workload = wl
+		job.Kernel = k
+		job.WorkloadKey = "bench:" + b.ID() + "/base"
+		return job, nil
+	}
+
+	launch := gpa.Launch{
+		Entry: r.Entry,
+		GridX: r.GridX, GridY: r.GridY, GridZ: r.GridZ,
+		BlockX: r.BlockX, BlockY: r.BlockY, BlockZ: r.BlockZ,
+		RegsPerThread:     r.RegsPerThread,
+		SharedMemPerBlock: r.SharedMemPerBlock,
+	}
+	// CLI-equivalent defaults for an unspecified launch shape.
+	if launch.GridX == 0 && launch.GridY == 0 && launch.GridZ == 0 {
+		launch.GridX = 640
+	}
+	if launch.BlockX == 0 && launch.BlockY == 0 && launch.BlockZ == 0 {
+		launch.BlockX = 256
+	}
+	if launch.RegsPerThread == 0 {
+		launch.RegsPerThread = 32
+	}
+	var k *gpa.Kernel
+	if r.Asm != "" {
+		k, err = gpa.LoadKernelAsm(r.Asm, launch)
+	} else {
+		k, err = gpa.LoadKernelBinary(r.Binary, launch)
+	}
+	if err != nil {
+		return job, err
+	}
+	job.Kernel = k
+	return job, nil
+}
+
+// findBench resolves a bundled benchmark by app name ("rodinia/hotspot",
+// first row wins) or by full row ID ("App Kernel Optimization"), so
+// every Table 3 row is addressable.
+func findBench(name string) *kernels.Benchmark {
+	for _, b := range kernels.All() {
+		if b.ID() == name {
+			return b
+		}
+	}
+	if bs := kernels.Find(name); len(bs) > 0 {
+		return bs[0]
+	}
+	return nil
+}
+
+// kernelResponse is the JSON result of one job.
+type kernelResponse struct {
+	Kernel string `json:"kernel"`
+	// Arch is the canonical key of the model the job ran on.
+	Arch string `json:"arch"`
+	Kind string `json:"kind"`
+	// Key is the content-addressed cache key.
+	Key string `json:"key"`
+	// Cached is true when no new simulation ran (cache hit or
+	// coalesced with an identical in-flight request).
+	Cached bool  `json:"cached"`
+	Cycles int64 `json:"cycles"`
+	// ProfileDigest is the profile's stable content digest (profile
+	// and advise kinds) for cross-deployment drift checks.
+	ProfileDigest string `json:"profileDigest,omitempty"`
+	// Report is the rendered Figure 8-style advice text (advise kind);
+	// byte-identical between cold runs and cache hits.
+	Report string `json:"report,omitempty"`
+	// Advice is the structured ranked advice (advise kind).
+	Advice *adv.Advice `json:"advice,omitempty"`
+	// Profile is included for the profile kind only (advise responses
+	// stay compact; re-request with /v1/profile for the raw samples).
+	Profile *profiler.Profile `json:"profile,omitempty"`
+	Error   string            `json:"error,omitempty"`
+}
+
+// response converts a job + result into the wire shape.
+func response(job gpa.Job, res gpa.JobResult) *kernelResponse {
+	if res.Err != nil {
+		return &kernelResponse{Error: res.Err.Error()}
+	}
+	o := job.Options
+	gpu := gpa.V100()
+	if o != nil && o.GPU != nil {
+		gpu = o.GPU
+	}
+	resp := &kernelResponse{
+		Kernel:        job.Kernel.Launch.Entry,
+		Arch:          gpa.GPUName(gpu),
+		Kind:          job.Kind.String(),
+		Key:           res.Key,
+		Cached:        res.Cached,
+		Cycles:        res.Cycles,
+		ProfileDigest: res.ProfileDigest,
+	}
+	if res.Report != nil {
+		resp.Report = res.Report.String()
+		resp.Advice = res.Report.Advice
+	}
+	if job.Kind == gpa.JobProfile {
+		resp.Profile = res.Profile
+	}
+	return resp
+}
+
+func (s *server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	s.handleOne(w, r, gpa.JobAdvise)
+}
+
+func (s *server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	s.handleOne(w, r, gpa.JobProfile)
+}
+
+// handleOne serves the fixed-kind single-kernel endpoints.
+func (s *server) handleOne(w http.ResponseWriter, r *http.Request, kind gpa.JobKind) {
+	var req kernelRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	req.Kind = kind.String()
+	job, err := req.job()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res := s.eng.Do(job)
+	if res.Err != nil {
+		writeError(w, http.StatusUnprocessableEntity, res.Err)
+		return
+	}
+	writeJSON(w, http.StatusOK, response(job, res))
+}
+
+// batchRequest fans several kernel requests (mixed kinds allowed)
+// through the engine concurrently.
+type batchRequest struct {
+	Requests []kernelRequest `json:"requests"`
+}
+
+type batchResponse struct {
+	Results []*kernelResponse `json:"results"`
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	out := batchResponse{Results: make([]*kernelResponse, len(req.Requests))}
+	live := make([]int, 0, len(req.Requests))
+	liveJobs := make([]gpa.Job, 0, len(req.Requests))
+	for i := range req.Requests {
+		job, err := req.Requests[i].job()
+		if err != nil {
+			out.Results[i] = &kernelResponse{Error: err.Error()}
+			continue
+		}
+		live = append(live, i)
+		liveJobs = append(liveJobs, job)
+	}
+	results := s.eng.DoAll(liveJobs)
+	for n, i := range live {
+		out.Results[i] = response(liveJobs[n], results[n])
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// sweepRequest advises one kernel on several architecture models.
+type sweepRequest struct {
+	kernelRequest
+	// Archs lists model names (empty = every registered model).
+	Archs []string `json:"archs,omitempty"`
+}
+
+type sweepResponse struct {
+	Results []*kernelResponse `json:"results"`
+}
+
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Arch != "" {
+		if len(req.Archs) > 0 {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("set either arch or archs, not both"))
+			return
+		}
+		// A lone arch is a one-model sweep.
+		req.Archs = []string{req.Arch}
+	}
+	var gpus []*arch.GPU
+	for _, name := range req.Archs {
+		g, err := gpa.LookupGPU(name)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		gpus = append(gpus, g)
+	}
+	req.Arch = "" // per-arch options are set by Sweep
+	job, err := req.job()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	gpus, results := s.eng.Sweep(job, gpus)
+	out := sweepResponse{Results: make([]*kernelResponse, len(gpus))}
+	for i, g := range gpus {
+		jg := job
+		o := *job.Options
+		o.GPU = g
+		jg.Options = &o
+		out.Results[i] = response(jg, results[i])
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// archInfo is one /v1/archs entry.
+type archInfo struct {
+	Name   string `json:"name"` // canonical key, accepted back in "arch"
+	Model  string `json:"model"`
+	SM     int    `json:"sm"`
+	NumSMs int    `json:"numSMs"`
+}
+
+func (s *server) handleArchs(w http.ResponseWriter, r *http.Request) {
+	var out []archInfo
+	for _, g := range gpa.GPUs() {
+		out = append(out, archInfo{
+			Name: gpa.GPUName(g), Model: g.Name, SM: g.SM, NumSMs: g.NumSMs,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// statszResponse is the /statsz payload: the engine's cache and
+// scheduling counters plus server uptime.
+type statszResponse struct {
+	gpa.EngineStats
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+}
+
+func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statszResponse{
+		EngineStats:   s.eng.Stats(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	})
+}
+
+// post/get enforce the endpoint's method.
+func (s *server) post(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+			return
+		}
+		h(w, r)
+	}
+}
+
+func (s *server) get(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+			return
+		}
+		h(w, r)
+	}
+}
+
+// decode reads a bounded JSON body; on failure it writes the error
+// response and returns false.
+func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,489 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"gpa"
+	"gpa/internal/kernels"
+)
+
+const testKernelSrc = `
+.module sm_70
+.func vecscale global
+.line vecscale.cu 5
+	MOV R0, 0x0 {S:2}
+	S2R R1, SR_TID.X {S:2, W:5}
+	IMAD R2, R1, 0x4, RZ {S:4, Q:5}
+	IADD R2, R2, c[0x0][0x160] {S:2}
+LOOP:
+.line vecscale.cu 7
+	LDG.E.32 R4, [R2] {S:1, W:0}
+.line vecscale.cu 8
+	FMUL R5, R4, 2f {S:4, Q:0}
+	IADD R2, R2, 0x4 {S:4}
+	IADD R0, R0, 0x1 {S:4}
+	ISETP P0, R0, 0x40 {S:4}
+BR0:	@P0 BRA LOOP {S:5}
+	STG.E.32 [R2], R5 {S:1, R:1}
+	EXIT {Q:1}
+`
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(newServer(gpa.NewEngine(nil)))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func getJSON(t *testing.T, url string, dst any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdviseAsmAndCacheHit(t *testing.T) {
+	ts := newTestServer(t)
+	req := map[string]any{
+		"asm": testKernelSrc, "gridX": 160, "blockX": 256, "seed": 9,
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/advise", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var cold kernelResponse
+	if err := json.Unmarshal(body, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cached {
+		t.Error("first request must be a cache miss")
+	}
+	if cold.Kernel != "vecscale" || cold.Arch != "v100" || cold.Cycles <= 0 {
+		t.Errorf("bad response header fields: %+v", cold)
+	}
+	if cold.Advice == nil || len(cold.Advice.Entries) == 0 {
+		t.Fatal("no ranked advice entries")
+	}
+	if !strings.Contains(cold.Report, "GPA performance report for kernel vecscale") {
+		t.Errorf("report text missing header:\n%s", cold.Report)
+	}
+	if cold.ProfileDigest == "" || cold.Key == "" {
+		t.Error("missing profile digest or cache key")
+	}
+
+	_, body2 := postJSON(t, ts.URL+"/v1/advise", req)
+	var warm kernelResponse
+	if err := json.Unmarshal(body2, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cached {
+		t.Fatal("second identical request must hit the cache")
+	}
+	// The determinism contract: everything but the Cached flag is
+	// byte-identical.
+	norm := func(b []byte) string {
+		return strings.Replace(string(b), `"cached": true`, `"cached": false`, 1)
+	}
+	if norm(body) != norm(body2) {
+		t.Error("cached response body differs from cold run")
+	}
+}
+
+func TestAdviseBenchKernel(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/advise", map[string]any{"bench": "rodinia/hotspot"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out kernelResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Advice.Entries) == 0 {
+		t.Fatal("no advice for bundled benchmark")
+	}
+	// The bundled row must be cacheable (its workload has a stable key).
+	_, body2 := postJSON(t, ts.URL+"/v1/advise", map[string]any{"bench": "rodinia/hotspot"})
+	var warm kernelResponse
+	if err := json.Unmarshal(body2, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cached {
+		t.Error("bundled benchmark repeat must hit the cache")
+	}
+	if warm.Report != out.Report {
+		t.Error("cached bench report differs")
+	}
+}
+
+// TestConcurrentIdenticalRequestsOneSimulation is the acceptance
+// criterion: N identical concurrent requests cost exactly one
+// simulation, observable at /statsz.
+func TestConcurrentIdenticalRequestsOneSimulation(t *testing.T) {
+	ts := newTestServer(t)
+	const n = 12
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, bodies[i] = postJSON(t, ts.URL+"/v1/advise",
+				map[string]any{"bench": "rodinia/hotspot"})
+		}(i)
+	}
+	wg.Wait()
+	var first kernelResponse
+	if err := json.Unmarshal(bodies[0], &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Error != "" {
+		t.Fatal(first.Error)
+	}
+	for i := 1; i < n; i++ {
+		var r kernelResponse
+		if err := json.Unmarshal(bodies[i], &r); err != nil {
+			t.Fatal(err)
+		}
+		if r.Report != first.Report || r.ProfileDigest != first.ProfileDigest {
+			t.Fatalf("response %d differs", i)
+		}
+	}
+	var st statszResponse
+	getJSON(t, ts.URL+"/statsz", &st)
+	if st.Runs != 1 {
+		t.Fatalf("/statsz shows %d simulations for %d identical concurrent requests, want 1 (%+v)",
+			st.Runs, n, st)
+	}
+	if st.Misses != 1 || st.Hits+st.Coalesced != n-1 {
+		t.Errorf("stats = %+v, want 1 miss and %d hits+coalesced", st, n-1)
+	}
+}
+
+// TestTable3CachedResponsesByteIdentical pins the acceptance criterion
+// across every Table 3 kernel: the cached gpad response is
+// byte-identical to a cold sequential run through the plain library
+// API.
+func TestTable3CachedResponsesByteIdentical(t *testing.T) {
+	ts := newTestServer(t)
+	rows := kernels.All()
+	if testing.Short() {
+		rows = rows[:3]
+	}
+	for _, b := range rows {
+		k, wl, err := b.Base.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		report, err := k.Advise(&gpa.Options{
+			Workload: wl, Seed: 11, SimSMs: 1, Parallelism: 1,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", b.ID(), err)
+		}
+		want := report.String()
+
+		req := map[string]any{"bench": b.ID()} // full row ID: every Table 3 row
+		resp, cold := postJSON(t, ts.URL+"/v1/advise", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", b.ID(), resp.StatusCode, cold)
+		}
+		var coldR kernelResponse
+		if err := json.Unmarshal(cold, &coldR); err != nil {
+			t.Fatal(err)
+		}
+		if coldR.Report != want {
+			t.Errorf("%s: gpad report differs from cold sequential library run", b.ID())
+		}
+		_, warm := postJSON(t, ts.URL+"/v1/advise", req)
+		var warmR kernelResponse
+		if err := json.Unmarshal(warm, &warmR); err != nil {
+			t.Fatal(err)
+		}
+		if !warmR.Cached {
+			t.Errorf("%s: repeat request missed the cache", b.ID())
+		}
+		if warmR.Report != coldR.Report || warmR.ProfileDigest != coldR.ProfileDigest ||
+			warmR.Cycles != coldR.Cycles {
+			t.Errorf("%s: cached gpad response differs from its cold run", b.ID())
+		}
+	}
+}
+
+func TestProfileEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/profile", map[string]any{
+		"asm": testKernelSrc, "gridX": 160, "blockX": 256, "seed": 9,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out kernelResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Profile == nil || out.Profile.TotalSamples == 0 {
+		t.Fatal("profile endpoint returned no samples")
+	}
+	if out.Report != "" {
+		t.Error("profile response must not carry a report")
+	}
+	if out.ProfileDigest == "" {
+		t.Error("missing profile digest")
+	}
+}
+
+func TestBatchMixedKinds(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/batch", map[string]any{
+		"requests": []map[string]any{
+			{"asm": testKernelSrc, "gridX": 160, "blockX": 256, "kind": "measure"},
+			{"asm": testKernelSrc, "gridX": 160, "blockX": 256, "kind": "advise"},
+			{"bench": "rodinia/hotspot"},
+			{"bench": "no-such-bench"},
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out batchResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 4 {
+		t.Fatalf("got %d results, want 4", len(out.Results))
+	}
+	if out.Results[0].Cycles <= 0 || out.Results[0].Report != "" {
+		t.Errorf("measure result wrong: %+v", out.Results[0])
+	}
+	if out.Results[1].Advice == nil {
+		t.Error("advise result missing advice")
+	}
+	if out.Results[2].Error != "" {
+		t.Errorf("bench result errored: %s", out.Results[2].Error)
+	}
+	if out.Results[3].Error == "" {
+		t.Error("unknown bench must report a per-item error")
+	}
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/sweep", map[string]any{
+		"bench": "rodinia/hotspot",
+		"archs": []string{"v100", "t4"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out sweepResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(out.Results))
+	}
+	if out.Results[0].Arch != "v100" || out.Results[1].Arch != "t4" {
+		t.Errorf("sweep archs = %s, %s", out.Results[0].Arch, out.Results[1].Arch)
+	}
+	if out.Results[0].ProfileDigest == out.Results[1].ProfileDigest {
+		t.Error("different architectures produced identical profiles")
+	}
+
+	// Empty archs = every registered model.
+	_, body2 := postJSON(t, ts.URL+"/v1/sweep", map[string]any{"bench": "rodinia/hotspot"})
+	var all sweepResponse
+	if err := json.Unmarshal(body2, &all); err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Results) != len(gpa.GPUs()) {
+		t.Errorf("default sweep covered %d archs, want %d", len(all.Results), len(gpa.GPUs()))
+	}
+
+	// A lone "arch" field is a one-model sweep, not silently ignored.
+	_, body3 := postJSON(t, ts.URL+"/v1/sweep", map[string]any{
+		"bench": "rodinia/hotspot", "arch": "t4",
+	})
+	var one sweepResponse
+	if err := json.Unmarshal(body3, &one); err != nil {
+		t.Fatal(err)
+	}
+	if len(one.Results) != 1 || one.Results[0].Arch != "t4" {
+		t.Errorf("lone arch sweep = %d results (first arch %q), want 1 t4 result",
+			len(one.Results), one.Results[0].Arch)
+	}
+
+	// arch and archs together are ambiguous.
+	resp4, _ := postJSON(t, ts.URL+"/v1/sweep", map[string]any{
+		"bench": "rodinia/hotspot", "arch": "t4", "archs": []string{"v100"},
+	})
+	if resp4.StatusCode != http.StatusBadRequest {
+		t.Errorf("arch+archs = status %d, want 400", resp4.StatusCode)
+	}
+}
+
+func TestArchsHealthzStatsz(t *testing.T) {
+	ts := newTestServer(t)
+	var archs []archInfo
+	getJSON(t, ts.URL+"/v1/archs", &archs)
+	if len(archs) != len(gpa.GPUs()) {
+		t.Errorf("archs = %d, want %d", len(archs), len(gpa.GPUs()))
+	}
+	var health map[string]string
+	getJSON(t, ts.URL+"/healthz", &health)
+	if health["status"] != "ok" {
+		t.Errorf("healthz = %v", health)
+	}
+	var st statszResponse
+	getJSON(t, ts.URL+"/statsz", &st)
+	if st.Workers <= 0 {
+		t.Errorf("statsz workers = %d", st.Workers)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts := newTestServer(t)
+	cases := []struct {
+		name   string
+		body   any
+		status int
+	}{
+		{"no kernel source", map[string]any{}, http.StatusBadRequest},
+		{"two sources", map[string]any{"asm": testKernelSrc, "bench": "rodinia/hotspot"},
+			http.StatusBadRequest},
+		{"bad asm", map[string]any{"asm": "garbage"}, http.StatusBadRequest},
+		{"unknown arch", map[string]any{"asm": testKernelSrc, "arch": "sm_999"},
+			http.StatusBadRequest},
+		{"unknown field", map[string]any{"asm": testKernelSrc, "bogus": 1},
+			http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, ts.URL+"/v1/advise", tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.status, body)
+		}
+		var out map[string]any
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Errorf("%s: non-JSON error body: %s", tc.name, body)
+		} else if msg, ok := out["error"].(string); !ok || msg == "" {
+			t.Errorf("%s: missing JSON error body: %s", tc.name, body)
+		}
+	}
+	// Wrong methods.
+	resp, err := http.Get(ts.URL + "/v1/advise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/advise = %d, want 405", resp.StatusCode)
+	}
+	resp2, _ := postJSON(t, ts.URL+"/statsz", map[string]any{})
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /statsz = %d, want 405", resp2.StatusCode)
+	}
+}
+
+func TestAnalysisErrorIsUnprocessable(t *testing.T) {
+	ts := newTestServer(t)
+	// Assembles fine but the entry does not exist at launch time.
+	resp, body := postJSON(t, ts.URL+"/v1/advise", map[string]any{
+		"asm": testKernelSrc, "entry": "missing",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status %d for missing entry: %s", resp.StatusCode, body)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	ts := newTestServer(t)
+	k, err := gpa.LoadKernelAsm(testKernelSrc, gpa.Launch{GridX: 160, BlockX: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := k.SaveBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/advise", map[string]any{
+		"binary": blob, "entry": "vecscale", "gridX": 160, "blockX": 256, "seed": 9,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var bin kernelResponse
+	if err := json.Unmarshal(body, &bin); err != nil {
+		t.Fatal(err)
+	}
+	// A binary upload of the same module content must share the cache
+	// entry with the equivalent asm upload: the key is content-addressed.
+	_, body2 := postJSON(t, ts.URL+"/v1/advise", map[string]any{
+		"asm": testKernelSrc, "gridX": 160, "blockX": 256, "seed": 9,
+	})
+	var asm kernelResponse
+	if err := json.Unmarshal(body2, &asm); err != nil {
+		t.Fatal(err)
+	}
+	if asm.Key != bin.Key {
+		t.Errorf("asm and binary uploads of the same module digest differently:\n%s\n%s",
+			asm.Key, bin.Key)
+	}
+	if !asm.Cached {
+		t.Error("asm upload after identical binary upload must hit the cache")
+	}
+	if asm.Report != bin.Report {
+		t.Error("asm and binary reports differ")
+	}
+}
+
+func TestStatszCountersProgress(t *testing.T) {
+	ts := newTestServer(t)
+	var st0 statszResponse
+	getJSON(t, ts.URL+"/statsz", &st0)
+	postJSON(t, ts.URL+"/v1/advise", map[string]any{"bench": "rodinia/hotspot"})
+	postJSON(t, ts.URL+"/v1/advise", map[string]any{"bench": "rodinia/hotspot"})
+	var st statszResponse
+	getJSON(t, ts.URL+"/statsz", &st)
+	if st.Misses != st0.Misses+1 || st.Hits != st0.Hits+1 {
+		t.Errorf("stats did not progress: %+v -> %+v", st0, st)
+	}
+	if st.CacheEntries != 1 {
+		t.Errorf("cacheEntries = %d, want 1", st.CacheEntries)
+	}
+	if st.Inflight != 0 {
+		t.Errorf("inflight = %d at rest", st.Inflight)
+	}
+}

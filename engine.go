@@ -1,0 +1,217 @@
+package gpa
+
+import (
+	"fmt"
+
+	"gpa/internal/arch"
+	"gpa/internal/profiler"
+	"gpa/internal/service"
+)
+
+// Engine is the batch/serving front end of the pipeline: a bounded
+// worker pool with a content-addressed result cache and singleflight
+// deduplication (see internal/service). One engine is meant to be
+// shared by everything that fans work out — cmd/gpad serves HTTP
+// traffic through one, cmd/gpa-bench routes Table 3 sweeps through
+// one, and library callers batch through AdviseAll/DoAll — so a
+// machine-wide simulation budget is enforced in exactly one place.
+//
+// The cache key is a digest of the kernel's canonical module bytes,
+// launch configuration, architecture model, and every result-affecting
+// option; the simulator is deterministic, so a cache hit returns
+// byte-identical report text to a cold sequential run. N identical
+// concurrent jobs cost one simulation. Results returned from the cache
+// share pointers and must be treated as read-only.
+type Engine struct {
+	svc *service.Engine
+}
+
+// EngineOptions configures an Engine.
+type EngineOptions struct {
+	// Workers bounds concurrent simulations (0 = GOMAXPROCS).
+	Workers int
+	// CacheEntries bounds the LRU result cache (0 = 512, negative
+	// disables caching; identical in-flight jobs still coalesce).
+	CacheEntries int
+}
+
+// EngineStats is a snapshot of the engine's cache and scheduling
+// counters (the numbers gpad exposes at /statsz).
+type EngineStats = service.Stats
+
+// NewEngine builds an engine (nil opts = defaults).
+func NewEngine(opts *EngineOptions) *Engine {
+	var o EngineOptions
+	if opts != nil {
+		o = *opts
+	}
+	return &Engine{svc: service.New(service.Options{
+		Workers:      o.Workers,
+		CacheEntries: o.CacheEntries,
+	})}
+}
+
+// JobKind selects which pipeline stage a job runs.
+type JobKind = service.Kind
+
+const (
+	// JobMeasure simulates without sampling and reports cycles only.
+	JobMeasure = service.KindMeasure
+	// JobProfile runs the sampling profiler.
+	JobProfile = service.KindProfile
+	// JobAdvise runs the full pipeline and renders the advice report.
+	JobAdvise = service.KindAdvise
+)
+
+// Job is one unit of work for the engine.
+type Job struct {
+	Kind   JobKind
+	Kernel *Kernel
+	// Options tunes the run exactly as for Kernel.Advise (nil =
+	// defaults). Unlike the direct API, Options.Parallelism defaults to
+	// 1: the engine supplies job-level concurrency, and nesting a
+	// GOMAXPROCS-wide SM pool under every worker would oversubscribe
+	// the machine. Parallelism never affects results either way.
+	Options *Options
+	// WorkloadKey names Options.Workload stably for caching: workloads
+	// are opaque callbacks, so a job carrying one without a key bypasses
+	// the cache (it still runs, bounded by the worker pool). Reusing a
+	// key promises the workload behaves identically.
+	WorkloadKey string
+}
+
+// JobResult is the outcome of one job. Exactly one of Err or the
+// kind's payload fields is meaningful.
+type JobResult struct {
+	// Report is set for JobAdvise (report text, advice, profile,
+	// context — as returned by Kernel.Advise).
+	Report *Report
+	// Profile is set for JobProfile and JobAdvise.
+	Profile *profiler.Profile
+	// ProfileDigest is the profile's stable content digest.
+	ProfileDigest string
+	// Cycles is the simulated kernel duration (all kinds).
+	Cycles int64
+	// Cached reports whether the result was served without a new
+	// simulation (cache hit or coalesced with an identical in-flight
+	// job).
+	Cached bool
+	// Key is the content-addressed cache key ("" when the job was
+	// uncacheable).
+	Key string
+	Err error
+}
+
+// request converts a job to a service request.
+func (j Job) request() (*service.Request, error) {
+	if j.Kernel == nil {
+		return nil, fmt.Errorf("gpa: engine job without kernel")
+	}
+	// service.Request.normalized owns the engine's option defaults,
+	// including the Parallelism-zero-means-1 rule.
+	o := normalize(j.Options)
+	prog, err := j.Kernel.program()
+	if err != nil {
+		return nil, err
+	}
+	return &service.Request{
+		Kind:         j.Kind,
+		Module:       j.Kernel.Module,
+		Prog:         prog,
+		Launch:       j.Kernel.Launch.config(),
+		GPU:          o.GPU,
+		SamplePeriod: o.SamplePeriod,
+		SimSMs:       o.SimSMs,
+		Seed:         o.Seed,
+		Parallelism:  o.Parallelism,
+		Blamer:       o.Blamer,
+		Workload:     o.Workload,
+		WorkloadKey:  j.WorkloadKey,
+	}, nil
+}
+
+func resultOf(resp *service.Response, err error) JobResult {
+	if err != nil {
+		return JobResult{Err: err}
+	}
+	res := JobResult{
+		Profile:       resp.Profile,
+		ProfileDigest: resp.ProfileDigest,
+		Cycles:        resp.Cycles,
+		Cached:        resp.Cached,
+		Key:           resp.Key,
+	}
+	if resp.Advice != nil {
+		res.Report = &Report{Advice: resp.Advice, Profile: resp.Profile, Context: resp.Context}
+	}
+	return res
+}
+
+// Do resolves one job through the engine's cache and worker pool.
+func (e *Engine) Do(j Job) JobResult {
+	req, err := j.request()
+	if err != nil {
+		return JobResult{Err: err}
+	}
+	return resultOf(e.svc.Do(req))
+}
+
+// DoAll resolves jobs concurrently; the worker pool bounds how many
+// simulate at once and identical jobs coalesce into one simulation.
+// Results are positionally aligned with jobs.
+func (e *Engine) DoAll(jobs []Job) []JobResult {
+	reqs := make([]*service.Request, len(jobs))
+	results := make([]JobResult, len(jobs))
+	var live []*service.Request
+	liveIdx := make([]int, 0, len(jobs))
+	for i, j := range jobs {
+		req, err := j.request()
+		if err != nil {
+			results[i] = JobResult{Err: err}
+			continue
+		}
+		reqs[i] = req
+		live = append(live, req)
+		liveIdx = append(liveIdx, i)
+	}
+	resps, errs := e.svc.DoAll(live)
+	for n, i := range liveIdx {
+		results[i] = resultOf(resps[n], errs[n])
+	}
+	return results
+}
+
+// AdviseAll runs the full advise pipeline over every kernel with the
+// same options (the Table 3 fan-out shape). For per-kernel options or
+// workload keys, build Jobs and call DoAll.
+func (e *Engine) AdviseAll(kernels []*Kernel, opts *Options) []JobResult {
+	jobs := make([]Job, len(kernels))
+	for i, k := range kernels {
+		jobs[i] = Job{Kind: JobAdvise, Kernel: k, Options: opts}
+	}
+	return e.DoAll(jobs)
+}
+
+// Sweep runs the job template once per listed architecture model
+// concurrently, overriding Options.GPU per run (nil or empty gpus =
+// every registered model, in registry order). Results are positionally
+// aligned with the returned model list.
+func (e *Engine) Sweep(j Job, gpus []*arch.GPU) ([]*arch.GPU, []JobResult) {
+	if len(gpus) == 0 {
+		gpus = arch.All()
+	}
+	jobs := make([]Job, len(gpus))
+	for i, g := range gpus {
+		// Job.request() applies the remaining defaults (including the
+		// engine's Parallelism-means-1 rule).
+		o := normalize(j.Options)
+		o.GPU = g
+		jg := j
+		jg.Options = &o
+		jobs[i] = jg
+	}
+	return gpus, e.DoAll(jobs)
+}
+
+// Stats snapshots the engine's hit/miss/coalesce/run counters.
+func (e *Engine) Stats() EngineStats { return e.svc.Stats() }

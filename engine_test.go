@@ -1,0 +1,208 @@
+package gpa_test
+
+import (
+	"sync"
+	"testing"
+
+	"gpa"
+	"gpa/internal/kernels"
+)
+
+func TestEngineAdviseMatchesDirectAPI(t *testing.T) {
+	k, opts := apiKernel(t)
+	direct, err := k.Advise(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := gpa.NewEngine(nil)
+	res := eng.Do(gpa.Job{Kind: gpa.JobAdvise, Kernel: k, Options: opts, WorkloadKey: "api"})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Report.String() != direct.String() {
+		t.Error("engine advise report differs from Kernel.Advise")
+	}
+	if res.Cached {
+		t.Error("first engine run must not be cached")
+	}
+	warm := eng.Do(gpa.Job{Kind: gpa.JobAdvise, Kernel: k, Options: opts, WorkloadKey: "api"})
+	if warm.Err != nil {
+		t.Fatal(warm.Err)
+	}
+	if !warm.Cached {
+		t.Error("second engine run must hit the cache")
+	}
+	if warm.Report.String() != direct.String() {
+		t.Error("cached engine report differs from Kernel.Advise")
+	}
+}
+
+func TestEngineMeasureAndProfile(t *testing.T) {
+	k, opts := apiKernel(t)
+	eng := gpa.NewEngine(nil)
+	res := eng.DoAll([]gpa.Job{
+		{Kind: gpa.JobMeasure, Kernel: k, Options: opts, WorkloadKey: "api"},
+		{Kind: gpa.JobProfile, Kernel: k, Options: opts, WorkloadKey: "api"},
+	})
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+	}
+	cycles, err := k.Measure(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Cycles != cycles {
+		t.Errorf("engine measure %d cycles, direct %d", res[0].Cycles, cycles)
+	}
+	prof, err := k.Profile(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := prof.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[1].ProfileDigest != want {
+		t.Error("engine profile digest differs from direct Kernel.Profile")
+	}
+}
+
+func TestEngineWorkloadWithoutKeyBypasses(t *testing.T) {
+	k, opts := apiKernel(t) // opts carries a workload
+	eng := gpa.NewEngine(nil)
+	res := eng.Do(gpa.Job{Kind: gpa.JobMeasure, Kernel: k, Options: opts})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Key != "" || res.Cached {
+		t.Errorf("workload without key must bypass the cache (key %q, cached %v)",
+			res.Key, res.Cached)
+	}
+	if st := eng.Stats(); st.Bypass != 1 {
+		t.Errorf("stats = %+v, want 1 bypass", st)
+	}
+}
+
+func TestEngineSweep(t *testing.T) {
+	k, opts := apiKernel(t)
+	eng := gpa.NewEngine(nil)
+	gpus, res := eng.Sweep(gpa.Job{Kind: gpa.JobAdvise, Kernel: k, Options: opts,
+		WorkloadKey: "api"}, nil)
+	if len(gpus) != len(gpa.GPUs()) || len(res) != len(gpus) {
+		t.Fatalf("sweep covered %d archs, want %d", len(res), len(gpa.GPUs()))
+	}
+	seen := map[string]bool{}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", gpa.GPUName(gpus[i]), r.Err)
+		}
+		if r.Report == nil || len(r.Report.Advice.Entries) == 0 {
+			t.Fatalf("%s: no advice", gpa.GPUName(gpus[i]))
+		}
+		if seen[r.Key] {
+			t.Fatalf("%s: duplicate cache key across architectures", gpa.GPUName(gpus[i]))
+		}
+		seen[r.Key] = true
+	}
+}
+
+// TestEngineTable3CacheByteIdentical is the PR's cache-correctness
+// acceptance test: for every Table 3 kernel, a cached engine response
+// is byte-identical to a cold sequential run through the plain API,
+// and N identical concurrent jobs cost exactly one simulation.
+func TestEngineTable3CacheByteIdentical(t *testing.T) {
+	rows := kernels.All()
+	if testing.Short() {
+		rows = rows[:3]
+	}
+	for _, b := range rows {
+		k, wl, err := b.Base.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := &gpa.Options{Workload: wl, Seed: 11, SimSMs: 1, Parallelism: 1}
+		cold, err := k.Advise(opts)
+		if err != nil {
+			t.Fatalf("%s: %v", b.ID(), err)
+		}
+		want := cold.String()
+
+		eng := gpa.NewEngine(nil)
+		job := gpa.Job{Kind: gpa.JobAdvise, Kernel: k, Options: opts,
+			WorkloadKey: b.ID() + "/base"}
+
+		// N identical concurrent jobs...
+		const n = 8
+		var wg sync.WaitGroup
+		res := make([]gpa.JobResult, n)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				res[i] = eng.Do(job)
+			}(i)
+		}
+		wg.Wait()
+		// ...cost exactly one simulation...
+		if st := eng.Stats(); st.Runs != 1 {
+			t.Errorf("%s: %d concurrent identical jobs ran %d simulations, want 1",
+				b.ID(), n, st.Runs)
+		}
+		for i := 0; i < n; i++ {
+			if res[i].Err != nil {
+				t.Fatalf("%s: job %d: %v", b.ID(), i, res[i].Err)
+			}
+			if got := res[i].Report.String(); got != want {
+				t.Fatalf("%s: concurrent engine report differs from cold sequential run", b.ID())
+			}
+		}
+		// ...and a later cache hit is still byte-identical.
+		hit := eng.Do(job)
+		if hit.Err != nil {
+			t.Fatal(hit.Err)
+		}
+		if !hit.Cached {
+			t.Errorf("%s: repeat job missed the cache", b.ID())
+		}
+		if hit.Report.String() != want {
+			t.Errorf("%s: cached report differs from cold sequential run", b.ID())
+		}
+	}
+}
+
+func TestRunOptionsEngineMatchesSequential(t *testing.T) {
+	rows := kernels.All()[:3]
+	eng := gpa.NewEngine(nil)
+	for _, b := range rows {
+		seq, err := b.Run(kernels.RunOptions{Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		routed, err := b.Run(kernels.RunOptions{Seed: 11, Engine: eng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.BaseCycles != routed.BaseCycles || seq.OptCycles != routed.OptCycles {
+			t.Errorf("%s: engine-routed cycles (%d/%d) differ from sequential (%d/%d)",
+				b.ID(), routed.BaseCycles, routed.OptCycles, seq.BaseCycles, seq.OptCycles)
+		}
+		if seq.Report.String() != routed.Report.String() {
+			t.Errorf("%s: engine-routed report differs from sequential", b.ID())
+		}
+		if seq.Estimated != routed.Estimated || seq.Rank != routed.Rank {
+			t.Errorf("%s: engine-routed outcome differs", b.ID())
+		}
+	}
+	// Re-running the same rows through the same engine is pure cache.
+	before := eng.Stats().Runs
+	for _, b := range rows {
+		if _, err := b.Run(kernels.RunOptions{Seed: 11, Engine: eng}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := eng.Stats().Runs; after != before {
+		t.Errorf("repeat engine-routed rows re-simulated (%d -> %d runs)", before, after)
+	}
+}

@@ -30,6 +30,11 @@
 // container, cycle-level gpusim simulator, sampling, profiler, blamer,
 // advisor); power users can drive those stages separately via the
 // exported helpers on Kernel.
+//
+// For batch and serving workloads, NewEngine builds a shared scheduler
+// with a content-addressed result cache and singleflight deduplication
+// (Engine.AdviseAll, Engine.DoAll, Engine.Sweep); cmd/gpad serves the
+// same engine over HTTP.
 package gpa
 
 import (

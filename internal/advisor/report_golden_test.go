@@ -1,0 +1,105 @@
+package advisor
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestRenderGoldenFigure8 pins the Figure 8-style report rendering
+// byte-for-byte against testdata/figure8.golden, so any drift in the
+// format the CLI prints and gpad serves (and caches) is a deliberate,
+// reviewed change. Regenerate with `go test ./internal/advisor -run
+// Golden -update`.
+func TestRenderGoldenFigure8(t *testing.T) {
+	advice := &Advice{
+		Kernel: "calculate_temp",
+		Entries: []AdviceEntry{
+			{
+				Optimizer:  "GPUStrengthReductionOptimizer",
+				Category:   "stall elimination",
+				Ratio:      0.31525,
+				Speedup:    1.28437,
+				Suggestion: "Reduce expensive operations\nReplace div/mod by shifts where possible",
+				Hotspots: []HotspotReport{
+					{
+						Detail:   "exc_dep",
+						Ratio:    0.21034,
+						Speedup:  1.17205,
+						Distance: 3,
+						From: "I2F R5, R4" + "\n      " +
+							"calculate_temp at hotspot.cu:188",
+						To: "F2I R6, R5" + "\n      " +
+							"calculate_temp at hotspot.cu:189",
+					},
+					{
+						Detail:  "exc_dep",
+						Ratio:   0.08111,
+						Speedup: 1.06241,
+						From: "FMUL R7, R6, R2" + "\n      " +
+							"calculate_temp at hotspot.cu:204",
+					},
+				},
+			},
+			{
+				Optimizer:  "GPULoopUnrollingOptimizer",
+				Category:   "latency hiding",
+				Ratio:      0.12006,
+				Speedup:    1.04119,
+				Suggestion: "Unroll hot loops to expose instruction-level parallelism",
+			},
+		},
+	}
+	got := advice.String()
+	compareGolden(t, "figure8.golden", got)
+
+	empty := &Advice{Kernel: "noop"}
+	compareGolden(t, "figure8_empty.golden", empty.String())
+}
+
+func compareGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s: rendering drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s\n(diff context: first divergence at byte %d)",
+			name, got, want, firstDiff(got, string(want)))
+	}
+}
+
+func firstDiff(a, b string) int {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// TestRenderMatchesString guards the two render entry points against
+// diverging.
+func TestRenderMatchesString(t *testing.T) {
+	a := &Advice{Kernel: "k", Entries: []AdviceEntry{{Optimizer: "X", Suggestion: "s"}}}
+	var sb strings.Builder
+	a.Render(&sb)
+	if sb.String() != a.String() {
+		t.Error("Render and String disagree")
+	}
+}

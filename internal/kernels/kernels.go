@@ -24,6 +24,10 @@
 // paper's V100 by default, or any registered model for cross-arch
 // sweeps (the kernels assemble as sm_70 modules; the launch shapes were
 // tuned on V100 geometry but run on every model whose limits they fit).
+// RunOptions.Engine routes the row's measurements through a shared
+// gpa.Engine — one machine-wide worker pool with a content-addressed
+// cache — instead of per-row goroutines; results are identical either
+// way.
 package kernels
 
 import (
@@ -125,6 +129,13 @@ type RunOptions struct {
 	// GOMAXPROCS-wide SM pool under those would oversubscribe the
 	// machine and make "sequential" timings dishonest.
 	Parallelism int
+	// Engine routes the row's measurements through a shared scheduler
+	// with content-addressed caching (gpa.NewEngine) instead of ad-hoc
+	// goroutines, so a whole-table sweep funnels every simulation
+	// through one machine-wide worker pool and repeated rows hit the
+	// cache. Takes precedence over Parallel. Results are identical on
+	// every path.
+	Engine *gpa.Engine
 }
 
 func (o RunOptions) options() *gpa.Options {
@@ -162,6 +173,27 @@ func (b *Benchmark) Run(ro RunOptions) (*Outcome, error) {
 
 	var baseCycles, optCycles int64
 	var report *gpa.Report
+	if ro.Engine != nil {
+		// Shared-scheduler path: the three measurements become engine
+		// jobs, bounded by the engine's machine-wide worker pool and
+		// deduplicated by its content-addressed cache. The workload
+		// keys name each variant's Spec binding stably (the Spec is
+		// deterministic per benchmark definition), which is what makes
+		// the jobs cacheable at all.
+		results := ro.Engine.DoAll([]gpa.Job{
+			{Kind: gpa.JobMeasure, Kernel: baseK, Options: &baseOpts, WorkloadKey: b.ID() + "/base"},
+			{Kind: gpa.JobMeasure, Kernel: optK, Options: &optOpts, WorkloadKey: b.ID() + "/opt"},
+			{Kind: gpa.JobAdvise, Kernel: baseK, Options: &baseOpts, WorkloadKey: b.ID() + "/base"},
+		})
+		for i, step := range []string{"base measure", "opt measure", "advise"} {
+			if err := results[i].Err; err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", b.ID(), step, err)
+			}
+		}
+		baseCycles, optCycles = results[0].Cycles, results[1].Cycles
+		report = results[2].Report
+		return b.outcome(baseCycles, optCycles, report), nil
+	}
 	measureBase := func() error {
 		c, err := baseK.Measure(&baseOpts)
 		if err != nil {
@@ -205,6 +237,11 @@ func (b *Benchmark) Run(ro RunOptions) (*Outcome, error) {
 			}
 		}
 	}
+	return b.outcome(baseCycles, optCycles, report), nil
+}
+
+// outcome assembles the row's Outcome from its three measurements.
+func (b *Benchmark) outcome(baseCycles, optCycles int64, report *gpa.Report) *Outcome {
 	out := &Outcome{
 		Bench:      b,
 		BaseCycles: baseCycles,
@@ -222,7 +259,7 @@ func (b *Benchmark) Run(ro RunOptions) (*Outcome, error) {
 	if out.Achieved > 0 && out.Estimated > 0 {
 		out.Error = math.Abs(out.Estimated-out.Achieved) / out.Achieved
 	}
-	return out, nil
+	return out
 }
 
 var registry []*Benchmark

@@ -19,6 +19,8 @@
 package profiler
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -206,6 +208,21 @@ func (p *Profile) Save(path string) error {
 		return fmt.Errorf("profiler: %w", err)
 	}
 	return os.WriteFile(path, data, 0o644)
+}
+
+// Digest returns a stable content digest of the profile: SHA-256 over
+// its canonical JSON encoding (map keys sorted by encoding/json), hex
+// encoded. Equal profiles — sample counters included — digest equally
+// across builds, which is what cmd/drift-check compares between
+// revisions and what the advice service reports per response so
+// deployments can cross-check determinism.
+func (p *Profile) Digest() (string, error) {
+	data, err := json.Marshal(p)
+	if err != nil {
+		return "", fmt.Errorf("profiler: digest: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // LoadFile reads a profile written by Save.

@@ -1,0 +1,65 @@
+package service
+
+import "container/list"
+
+// lruCache is a fixed-capacity least-recently-used response cache.
+// It does its own locking through the owning engine's mutex discipline:
+// all methods must be called with the engine's mu held.
+type lruCache struct {
+	cap     int
+	order   *list.List // front = most recently used; values are *lruEntry
+	entries map[string]*list.Element
+}
+
+type lruEntry struct {
+	key  string
+	resp *Response
+}
+
+func newLRUCache(capacity int) *lruCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &lruCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached response for key, promoting it to most
+// recently used, or nil.
+func (c *lruCache) get(key string) *Response {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).resp
+}
+
+// add inserts (or refreshes) key, evicting the least recently used
+// entry when over capacity. It returns the number of evictions (0 or 1).
+func (c *lruCache) add(key string, resp *Response) int {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*lruEntry).resp = resp
+		c.order.MoveToFront(el)
+		return 0
+	}
+	c.entries[key] = c.order.PushFront(&lruEntry{key: key, resp: resp})
+	if c.order.Len() <= c.cap {
+		return 0
+	}
+	oldest := c.order.Back()
+	c.order.Remove(oldest)
+	delete(c.entries, oldest.Value.(*lruEntry).key)
+	return 1
+}
+
+// len reports the number of cached entries.
+func (c *lruCache) len() int {
+	if c == nil {
+		return 0
+	}
+	return c.order.Len()
+}

@@ -1,0 +1,104 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash"
+
+	"gpa/internal/arch"
+	"gpa/internal/cubin"
+)
+
+// digestSchema versions the key layout: bump it whenever the set or
+// order of digested fields changes, so stale keys from older layouts
+// can never alias a new request.
+const digestSchema = "gpa-service-key/1"
+
+// Digest computes the request's content-addressed cache key: a SHA-256
+// over the canonical module bytes (cubin container encoding), the
+// launch configuration, the architecture model key, and every
+// result-affecting option. Parallelism is deliberately excluded — the
+// simulator is bit-identical at every parallelism level, so requests
+// differing only in worker counts share one cache entry.
+//
+// A request carrying a Workload without a WorkloadKey has no stable
+// identity (workloads are opaque callbacks); Digest returns "" and the
+// engine bypasses the cache and singleflight for it.
+func (r *Request) Digest() (string, error) {
+	if r.Workload != nil && r.WorkloadKey == "" {
+		return "", nil
+	}
+	blob, err := cubin.Pack(r.Module)
+	if err != nil {
+		return "", fmt.Errorf("service: digest: %w", err)
+	}
+	n := r.normalized()
+	h := sha256.New()
+	hs := fieldHasher{h: h}
+	hs.str("schema", digestSchema)
+	hs.i64("kind", int64(n.Kind))
+	hs.bytes("module", blob)
+	hs.str("entry", n.Launch.Entry)
+	hs.i64("gridX", int64(n.Launch.Grid.X))
+	hs.i64("gridY", int64(n.Launch.Grid.Y))
+	hs.i64("gridZ", int64(n.Launch.Grid.Z))
+	hs.i64("blockX", int64(n.Launch.Block.X))
+	hs.i64("blockY", int64(n.Launch.Block.Y))
+	hs.i64("blockZ", int64(n.Launch.Block.Z))
+	hs.i64("regs", int64(n.Launch.RegsPerThread))
+	hs.i64("shared", int64(n.Launch.SharedMemPerBlock))
+	// The GPU model is digested by its full constant table, not just
+	// its registry key: a mutated or re-registered model with the same
+	// key must never alias another model's cached results. arch.GPU is
+	// plain scalar data, so its JSON encoding is canonical.
+	gpuBytes, err := json.Marshal(n.GPU)
+	if err != nil {
+		return "", fmt.Errorf("service: digest: %w", err)
+	}
+	hs.str("gpu", arch.KeyOf(n.GPU))
+	hs.bytes("gpuModel", gpuBytes)
+	hs.i64("period", int64(n.SamplePeriod))
+	hs.i64("simSMs", int64(n.SimSMs))
+	hs.i64("seed", int64(n.Seed))
+	hs.bool("noOpcodePrune", n.Blamer.DisableOpcodePrune)
+	hs.bool("noDominatorPrune", n.Blamer.DisableDominatorPrune)
+	hs.bool("noLatencyPrune", n.Blamer.DisableLatencyPrune)
+	hs.bool("noIssueWeight", n.Blamer.DisableIssueWeight)
+	hs.bool("noPathWeight", n.Blamer.DisablePathWeight)
+	hs.i64("maxSliceSteps", int64(n.Blamer.MaxSliceSteps))
+	hs.str("workload", r.WorkloadKey)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// fieldHasher writes labeled, length-prefixed fields so adjacent
+// values can never collide by concatenation.
+type fieldHasher struct{ h hash.Hash }
+
+func (f fieldHasher) bytes(label string, b []byte) {
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(label)))
+	f.h.Write(n[:])
+	f.h.Write([]byte(label))
+	binary.LittleEndian.PutUint64(n[:], uint64(len(b)))
+	f.h.Write(n[:])
+	f.h.Write(b)
+}
+
+func (f fieldHasher) str(label, s string) { f.bytes(label, []byte(s)) }
+
+func (f fieldHasher) i64(label string, v int64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	f.bytes(label, b[:])
+}
+
+func (f fieldHasher) bool(label string, v bool) {
+	if v {
+		f.i64(label, 1)
+	} else {
+		f.i64(label, 0)
+	}
+}

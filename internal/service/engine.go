@@ -1,0 +1,396 @@
+// Package service is the serving subsystem in front of the Figure 2
+// pipeline: a bounded worker-pool job engine with a content-addressed
+// result cache. It turns the one-kernel-at-a-time advisor into
+// something a long-running daemon (cmd/gpad) or a batch driver
+// (gpa.Engine, cmd/gpa-bench) can push heavy traffic through.
+//
+// A Request names a kernel module, launch, architecture model, and the
+// result-affecting options; its Digest — SHA-256 of the canonical
+// module bytes plus every result-affecting field — is the cache key.
+// The engine resolves each request in three tiers: an LRU result cache
+// (hit: no simulation), a singleflight table (N identical concurrent
+// requests share ONE simulation), and finally a semaphore-bounded run
+// of the pipeline (simulate / profile / blame / advise via the same
+// internal packages the gpa API composes).
+//
+// Determinism contract: the simulator is bit-identical at every
+// parallelism level, and cached responses are stored verbatim, so a
+// cache hit returns byte-identical report text to a cold sequential
+// run. Parallelism is therefore excluded from the digest. Responses
+// are shared between callers and must be treated as immutable.
+package service
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"gpa/internal/arch"
+	"gpa/internal/blamer"
+	"gpa/internal/gpusim"
+	"gpa/internal/profiler"
+	"gpa/internal/sass"
+
+	adv "gpa/internal/advisor"
+)
+
+// Kind selects which pipeline stage a request runs.
+type Kind int
+
+const (
+	// KindMeasure simulates without sampling and reports cycles only.
+	KindMeasure Kind = iota
+	// KindProfile runs the sampling profiler and reports the profile.
+	KindProfile
+	// KindAdvise runs the full pipeline: profile, blame, optimizer
+	// matching, estimation, ranking, and report rendering.
+	KindAdvise
+)
+
+// String names the kind ("measure", "profile", "advise").
+func (k Kind) String() string {
+	switch k {
+	case KindMeasure:
+		return "measure"
+	case KindProfile:
+		return "profile"
+	case KindAdvise:
+		return "advise"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ParseKind resolves a kind name; the empty string means advise.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(s) {
+	case "", "advise":
+		return KindAdvise, nil
+	case "profile":
+		return KindProfile, nil
+	case "measure":
+		return KindMeasure, nil
+	}
+	return 0, fmt.Errorf("service: unknown kind %q (want advise, profile, or measure)", s)
+}
+
+// Request is one unit of work for the engine.
+type Request struct {
+	Kind   Kind
+	Module *sass.Module
+	// Prog optionally supplies the module's already-flattened program
+	// (gpa.Kernel caches one); nil loads it on demand. It must belong
+	// to Module.
+	Prog   *gpusim.Program
+	Launch gpusim.LaunchConfig
+	// GPU is the architecture model (nil = the paper's V100).
+	GPU *arch.GPU
+	// SamplePeriod in cycles (0 = 64; ignored and normalized away for
+	// KindMeasure, which never samples).
+	SamplePeriod int
+	// SimSMs bounds detailed SM simulation (0 = 4).
+	SimSMs int
+	Seed   uint64
+	// Parallelism bounds concurrent SM simulation inside this one run
+	// (0 = 1: the engine already supplies request-level concurrency and
+	// nesting a GOMAXPROCS-wide SM pool under every worker would
+	// oversubscribe the machine). Excluded from the digest — results
+	// are identical at every level.
+	Parallelism int
+	// Blamer tunes the pruning/apportioning heuristics (KindAdvise).
+	Blamer blamer.Options
+	// Workload supplies branch trips and memory behaviour. Workloads
+	// are opaque callbacks, so a request carrying one is uncacheable
+	// unless WorkloadKey names it stably (same key ⇒ same behaviour).
+	Workload    gpusim.Workload
+	WorkloadKey string
+}
+
+// normalized returns a copy with defaults resolved, so the digest and
+// the execution path can never disagree about what actually ran.
+func (r *Request) normalized() Request {
+	n := *r
+	if n.GPU == nil {
+		n.GPU = arch.VoltaV100()
+	}
+	if n.SimSMs == 0 {
+		n.SimSMs = 4
+	}
+	if n.Kind == KindMeasure {
+		n.SamplePeriod = 0 // measure never samples
+	} else if n.SamplePeriod <= 0 {
+		n.SamplePeriod = 64
+	}
+	if n.Parallelism == 0 {
+		n.Parallelism = 1
+	}
+	return n
+}
+
+// Response is the result of one request. Responses are shared: a cache
+// or singleflight hit returns the same inner pointers to every caller,
+// so Profile, Advice, and Context must be treated as read-only.
+type Response struct {
+	// Key is the request digest ("" for uncacheable requests).
+	Key string
+	// Cached is true when the response was served without running a
+	// simulation (result-cache hit or singleflight coalescing).
+	Cached bool
+	Kind   Kind
+	// Cycles is the simulated kernel duration.
+	Cycles int64
+	// Profile is set for KindProfile and KindAdvise.
+	Profile *profiler.Profile
+	// ProfileDigest is the profile's stable content digest (drift
+	// checking across builds and deployments).
+	ProfileDigest string
+	// Advice and Context are set for KindAdvise.
+	Advice  *adv.Advice
+	Context *adv.Context
+	// Report is the rendered Figure 8-style report text (KindAdvise).
+	// Byte-identical between a cache hit and a cold run.
+	Report string
+}
+
+// Stats is a point-in-time snapshot of the engine's counters.
+type Stats struct {
+	// Hits counts result-cache hits (no simulation, no waiting).
+	Hits int64 `json:"hits"`
+	// Misses counts requests that found neither a cached result nor an
+	// in-flight duplicate and ran the pipeline themselves.
+	Misses int64 `json:"misses"`
+	// Coalesced counts requests that joined an identical in-flight
+	// request (singleflight followers: N concurrent duplicates cost
+	// Misses=1, Coalesced=N-1, Runs=1).
+	Coalesced int64 `json:"coalesced"`
+	// Bypass counts uncacheable requests (workload without a key).
+	Bypass int64 `json:"bypass"`
+	// Runs counts actual pipeline executions (simulations).
+	Runs int64 `json:"runs"`
+	// Errors counts failed pipeline executions (errors are not cached).
+	Errors int64 `json:"errors"`
+	// Evictions counts LRU cache evictions.
+	Evictions int64 `json:"evictions"`
+	// Inflight is the number of requests currently executing or queued
+	// for a worker slot.
+	Inflight int64 `json:"inflight"`
+	// CacheEntries is the current number of cached responses.
+	CacheEntries int `json:"cacheEntries"`
+	// Workers is the engine's worker-pool bound.
+	Workers int `json:"workers"`
+}
+
+// Options configures an engine.
+type Options struct {
+	// Workers bounds concurrent pipeline executions (0 = GOMAXPROCS).
+	Workers int
+	// CacheEntries bounds the LRU result cache (0 = 512, negative
+	// disables caching; singleflight coalescing still applies).
+	CacheEntries int
+}
+
+// Engine is the concurrent advice engine: a worker pool with a
+// content-addressed result cache and singleflight deduplication. Safe
+// for concurrent use.
+type Engine struct {
+	sem chan struct{}
+
+	mu     sync.Mutex
+	cache  *lruCache // nil when caching is disabled
+	flight map[string]*flightCall
+
+	stats struct {
+		hits, misses, coalesced, bypass, runs, errors, evictions, inflight int64
+	}
+}
+
+// flightCall tracks one in-flight execution joined by duplicates.
+type flightCall struct {
+	done chan struct{}
+	resp *Response
+	err  error
+}
+
+// New builds an engine.
+func New(opts Options) *Engine {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	entries := opts.CacheEntries
+	if entries == 0 {
+		entries = 512
+	}
+	return &Engine{
+		sem:    make(chan struct{}, workers),
+		cache:  newLRUCache(entries), // nil for entries < 0
+		flight: make(map[string]*flightCall),
+	}
+}
+
+// Do resolves one request: result cache, then singleflight, then a
+// worker-bounded pipeline run. Errors are returned to every waiter of
+// the failed flight and are never cached.
+func (e *Engine) Do(req *Request) (*Response, error) {
+	key, err := req.Digest()
+	if err != nil {
+		return nil, err
+	}
+	if key == "" {
+		e.mu.Lock()
+		e.stats.bypass++
+		e.mu.Unlock()
+		return e.run(req, key)
+	}
+
+	e.mu.Lock()
+	if e.cache != nil {
+		if resp := e.cache.get(key); resp != nil {
+			e.stats.hits++
+			e.mu.Unlock()
+			return asCached(resp), nil
+		}
+	}
+	if c, ok := e.flight[key]; ok {
+		e.stats.coalesced++
+		e.mu.Unlock()
+		<-c.done
+		if c.err != nil {
+			return nil, c.err
+		}
+		return asCached(c.resp), nil
+	}
+	c := &flightCall{done: make(chan struct{})}
+	e.flight[key] = c
+	e.stats.misses++
+	e.mu.Unlock()
+
+	resp, err := e.run(req, key)
+	c.resp, c.err = resp, err
+
+	e.mu.Lock()
+	delete(e.flight, key)
+	if err == nil && e.cache != nil {
+		e.stats.evictions += int64(e.cache.add(key, resp))
+	}
+	e.mu.Unlock()
+	close(c.done)
+	return resp, err
+}
+
+// DoAll resolves requests concurrently (one goroutine each; execution
+// is bounded by the worker pool, and identical requests coalesce).
+// Results are positionally aligned with reqs; each slot carries either
+// a response or an error.
+func (e *Engine) DoAll(reqs []*Request) ([]*Response, []error) {
+	resps := make([]*Response, len(reqs))
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = e.Do(reqs[i])
+		}(i)
+	}
+	wg.Wait()
+	return resps, errs
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Stats{
+		Hits:         e.stats.hits,
+		Misses:       e.stats.misses,
+		Coalesced:    e.stats.coalesced,
+		Bypass:       e.stats.bypass,
+		Runs:         e.stats.runs,
+		Errors:       e.stats.errors,
+		Evictions:    e.stats.evictions,
+		Inflight:     e.stats.inflight,
+		CacheEntries: e.cache.len(),
+		Workers:      cap(e.sem),
+	}
+}
+
+// asCached shallow-copies a response with the Cached flag set; the
+// inner pointers stay shared (read-only by contract).
+func asCached(r *Response) *Response {
+	c := *r
+	c.Cached = true
+	return &c
+}
+
+// run executes the pipeline for one request under a worker slot.
+func (e *Engine) run(req *Request, key string) (resp *Response, err error) {
+	e.mu.Lock()
+	e.stats.inflight++
+	e.mu.Unlock()
+	e.sem <- struct{}{}
+	defer func() {
+		<-e.sem
+		e.mu.Lock()
+		e.stats.runs++
+		e.stats.inflight--
+		if err != nil {
+			e.stats.errors++
+		}
+		e.mu.Unlock()
+	}()
+
+	n := req.normalized()
+	prog := n.Prog
+	if prog == nil {
+		prog, err = gpusim.Load(n.Module)
+		if err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+	}
+	resp = &Response{Key: key, Kind: n.Kind}
+
+	if n.Kind == KindMeasure {
+		res, err := gpusim.Run(prog, n.Launch, n.Workload, gpusim.Config{
+			GPU:         n.GPU,
+			SimSMs:      n.SimSMs,
+			Seed:        n.Seed,
+			Parallelism: n.Parallelism,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+		resp.Cycles = res.Cycles
+		return resp, nil
+	}
+
+	prof, err := profiler.CollectProgram(prog, n.Launch, n.Workload, profiler.Options{
+		GPU:          n.GPU,
+		SamplePeriod: n.SamplePeriod,
+		SimSMs:       n.SimSMs,
+		Seed:         n.Seed,
+		Parallelism:  n.Parallelism,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	resp.Cycles = prof.Cycles
+	resp.Profile = prof
+	resp.ProfileDigest, err = prof.Digest()
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	if n.Kind == KindProfile {
+		return resp, nil
+	}
+
+	ctx, err := adv.BuildContext(n.Module, prof, n.GPU, n.Blamer)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	advice := adv.Advise(ctx, adv.DefaultOptimizers()...)
+	resp.Advice = advice
+	resp.Context = ctx
+	resp.Report = advice.String()
+	return resp, nil
+}

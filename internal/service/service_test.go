@@ -1,0 +1,357 @@
+package service
+
+import (
+	"sync"
+	"testing"
+
+	"gpa/internal/gpusim"
+	"gpa/internal/sass"
+)
+
+const testKernelSrc = `
+.module sm_70
+.func vecscale global
+.line vecscale.cu 5
+	MOV R0, 0x0 {S:2}
+	S2R R1, SR_TID.X {S:2, W:5}
+	IMAD R2, R1, 0x4, RZ {S:4, Q:5}
+	IADD R2, R2, c[0x0][0x160] {S:2}
+LOOP:
+.line vecscale.cu 7
+	LDG.E.32 R4, [R2] {S:1, W:0}
+.line vecscale.cu 8
+	FMUL R5, R4, 2f {S:4, Q:0}
+	IADD R2, R2, 0x4 {S:4}
+	IADD R0, R0, 0x1 {S:4}
+	ISETP P0, R0, 0x40 {S:4}
+BR0:	@P0 BRA LOOP {S:5}
+	STG.E.32 [R2], R5 {S:1, R:1}
+	EXIT {Q:1}
+`
+
+func testRequest(t *testing.T, kind Kind) *Request {
+	t.Helper()
+	mod, err := sass.Assemble(testKernelSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Request{
+		Kind:   kind,
+		Module: mod,
+		Launch: gpusim.LaunchConfig{
+			Entry: "vecscale",
+			Grid:  gpusim.Dim3{X: 160},
+			Block: gpusim.Dim3{X: 256},
+		},
+		SimSMs: 1,
+		Seed:   9,
+	}
+}
+
+func TestDigestStableAndSensitive(t *testing.T) {
+	base := testRequest(t, KindAdvise)
+	key1, err := base.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key2, err := base.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key1 == "" || key1 != key2 {
+		t.Fatalf("digest not stable: %q vs %q", key1, key2)
+	}
+
+	// Normalization: the explicit defaults digest like the zero values.
+	norm := testRequest(t, KindAdvise)
+	norm.SamplePeriod = 64
+	if k, _ := norm.Digest(); k != key1 {
+		t.Errorf("explicit default sample period changed the key")
+	}
+	// Parallelism never affects results, so it must not affect the key.
+	par := testRequest(t, KindAdvise)
+	par.Parallelism = 8
+	if k, _ := par.Digest(); k != key1 {
+		t.Errorf("parallelism changed the key")
+	}
+
+	// Every result-affecting field must change the key.
+	mutations := map[string]func(*Request){
+		"kind":     func(r *Request) { r.Kind = KindMeasure },
+		"grid":     func(r *Request) { r.Launch.Grid.X = 320 },
+		"block":    func(r *Request) { r.Launch.Block.X = 128 },
+		"seed":     func(r *Request) { r.Seed = 10 },
+		"simSMs":   func(r *Request) { r.SimSMs = 2 },
+		"period":   func(r *Request) { r.SamplePeriod = 128 },
+		"blamer":   func(r *Request) { r.Blamer.DisableOpcodePrune = true },
+		"workload": func(r *Request) { r.WorkloadKey = "wl1" },
+	}
+	for name, mutate := range mutations {
+		r := testRequest(t, KindAdvise)
+		mutate(r)
+		k, err := r.Digest()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if k == key1 {
+			t.Errorf("mutating %s did not change the key", name)
+		}
+	}
+}
+
+func TestDigestModuleContent(t *testing.T) {
+	r1 := testRequest(t, KindAdvise)
+	k1, _ := r1.Digest()
+	mod2, err := sass.Assemble(testKernelSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := testRequest(t, KindAdvise)
+	r2.Module = mod2 // distinct pointer, identical content
+	k2, _ := r2.Digest()
+	if k1 != k2 {
+		t.Errorf("identical module content digests differently")
+	}
+}
+
+func TestWorkloadWithoutKeyBypasses(t *testing.T) {
+	r := testRequest(t, KindMeasure)
+	r.Workload = gpusim.Workload(nil)
+	// A genuinely non-nil workload: bind an empty spec.
+	prog, err := gpusim.Load(r.Module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := (&gpusim.Spec{}).Bind(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Workload = wl
+	key, err := r.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "" {
+		t.Fatalf("workload without key must be uncacheable, got key %q", key)
+	}
+
+	e := New(Options{Workers: 1})
+	resp1, err := e.Do(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := e.Do(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp1.Cached || resp2.Cached {
+		t.Error("bypass responses must not be marked cached")
+	}
+	st := e.Stats()
+	if st.Bypass != 2 || st.Runs != 2 || st.Hits != 0 {
+		t.Errorf("stats = %+v, want 2 bypasses and 2 runs", st)
+	}
+}
+
+func TestCacheHitByteIdentical(t *testing.T) {
+	e := New(Options{Workers: 2})
+	cold, err := e.Do(testRequest(t, KindAdvise))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cached {
+		t.Fatal("first run must be a miss")
+	}
+	if cold.Report == "" || cold.Advice == nil || cold.Profile == nil {
+		t.Fatal("advise response incomplete")
+	}
+	warm, err := e.Do(testRequest(t, KindAdvise))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cached {
+		t.Fatal("second run must hit the cache")
+	}
+	if warm.Report != cold.Report {
+		t.Errorf("cached report differs from cold run")
+	}
+	if warm.ProfileDigest != cold.ProfileDigest {
+		t.Errorf("cached profile digest differs from cold run")
+	}
+	if warm.Cycles != cold.Cycles {
+		t.Errorf("cached cycles %d != cold %d", warm.Cycles, cold.Cycles)
+	}
+	st := e.Stats()
+	if st.Runs != 1 || st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 run, 1 hit, 1 miss", st)
+	}
+}
+
+func TestSingleflightCoalesces(t *testing.T) {
+	e := New(Options{Workers: 4})
+	const n = 16
+	resps := make([]*Response, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = e.Do(testRequest(t, KindAdvise))
+		}(i)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+	}
+	st := e.Stats()
+	if st.Runs != 1 {
+		t.Fatalf("%d identical concurrent requests ran %d simulations, want 1 (stats %+v)",
+			n, st.Runs, st)
+	}
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1", st.Misses)
+	}
+	if st.Hits+st.Coalesced != n-1 {
+		t.Errorf("hits+coalesced = %d, want %d", st.Hits+st.Coalesced, n-1)
+	}
+	for i := 1; i < n; i++ {
+		if resps[i].Report != resps[0].Report {
+			t.Fatalf("response %d differs", i)
+		}
+	}
+}
+
+func TestDoAllMixedKinds(t *testing.T) {
+	e := New(Options{})
+	reqs := []*Request{
+		testRequest(t, KindMeasure),
+		testRequest(t, KindProfile),
+		testRequest(t, KindAdvise),
+	}
+	resps, errs := e.DoAll(reqs)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("req %d: %v", i, err)
+		}
+	}
+	if resps[0].Cycles <= 0 {
+		t.Error("measure: no cycles")
+	}
+	if resps[1].Profile == nil || resps[1].ProfileDigest == "" {
+		t.Error("profile: missing profile or digest")
+	}
+	if resps[2].Advice == nil || len(resps[2].Advice.Entries) == 0 {
+		t.Error("advise: no ranked entries")
+	}
+	// Kinds digest differently, so all three simulated.
+	if st := e.Stats(); st.Runs != 3 {
+		t.Errorf("runs = %d, want 3", st.Runs)
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	e := New(Options{Workers: 1})
+	r := testRequest(t, KindMeasure)
+	r.Launch.Entry = "missing"
+	if _, err := e.Do(r); err == nil {
+		t.Fatal("expected error for unknown entry")
+	}
+	if _, err := e.Do(r); err == nil {
+		t.Fatal("expected error again (errors must not be cached)")
+	}
+	st := e.Stats()
+	if st.Errors != 2 || st.Runs != 2 || st.CacheEntries != 0 {
+		t.Errorf("stats = %+v, want 2 uncached errors", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	e := New(Options{Workers: 1, CacheEntries: 2})
+	for i := 0; i < 3; i++ {
+		r := testRequest(t, KindMeasure)
+		r.Seed = uint64(i)
+		if _, err := e.Do(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.CacheEntries != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 2 entries after 1 eviction", st)
+	}
+	// Seed 0 was evicted (least recently used): a repeat re-runs.
+	r := testRequest(t, KindMeasure)
+	r.Seed = 0
+	resp, err := e.Do(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cached {
+		t.Error("evicted entry served from cache")
+	}
+	// Seed 2 is still resident.
+	r2 := testRequest(t, KindMeasure)
+	r2.Seed = 2
+	resp2, err := e.Do(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp2.Cached {
+		t.Error("resident entry missed the cache")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	e := New(Options{Workers: 1, CacheEntries: -1})
+	for i := 0; i < 2; i++ {
+		resp, err := e.Do(testRequest(t, KindMeasure))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Cached {
+			t.Error("cache disabled but response marked cached")
+		}
+	}
+	if st := e.Stats(); st.Runs != 2 || st.CacheEntries != 0 {
+		t.Errorf("stats = %+v, want 2 runs with no cache", st)
+	}
+}
+
+func TestKindRoundTrip(t *testing.T) {
+	for _, k := range []Kind{KindMeasure, KindProfile, KindAdvise} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if k, err := ParseKind(""); err != nil || k != KindAdvise {
+		t.Errorf("empty kind must default to advise, got %v, %v", k, err)
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("bogus kind must fail")
+	}
+}
+
+func TestParallelismMatchesSequential(t *testing.T) {
+	seq := New(Options{Workers: 1})
+	par := New(Options{Workers: 8})
+	rseq := testRequest(t, KindAdvise)
+	rpar := testRequest(t, KindAdvise)
+	rpar.Parallelism = 4
+	a, err := seq.Do(rseq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.Do(rpar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Report != b.Report || a.ProfileDigest != b.ProfileDigest {
+		t.Error("parallel SM simulation changed the advise response")
+	}
+	if a.Key != b.Key {
+		t.Error("parallelism leaked into the digest")
+	}
+}

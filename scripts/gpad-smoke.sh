@@ -1,0 +1,72 @@
+#!/usr/bin/env sh
+# CI smoke test for the gpad advice service: build and start the
+# server, POST a bundled kernel, assert a ranked advice response, POST
+# it again and assert a cache hit with a byte-identical report, and
+# check /statsz accounted one simulation. Run from the repo root.
+set -eu
+
+ADDR=${GPAD_ADDR:-127.0.0.1:8377}
+BIN=$(mktemp -d)/gpad
+go build -o "$BIN" ./cmd/gpad
+
+"$BIN" -addr "$ADDR" &
+PID=$!
+trap 'kill $PID 2>/dev/null || true' EXIT INT TERM
+
+# Wait for the health endpoint.
+i=0
+until curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "gpad-smoke: server did not become healthy" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+REQ='{"bench":"rodinia/hotspot"}'
+R1=$(curl -sf -X POST -H 'Content-Type: application/json' -d "$REQ" "http://$ADDR/v1/advise")
+R2=$(curl -sf -X POST -H 'Content-Type: application/json' -d "$REQ" "http://$ADDR/v1/advise")
+
+echo "$R1" | grep -q '"cached": false' || {
+    echo "gpad-smoke: first response was not a cache miss" >&2
+    echo "$R1" >&2
+    exit 1
+}
+# A ranked advice response: the Figure 8 report header plus at least
+# one ranked entry.
+echo "$R1" | grep -q 'GPA performance report for kernel' || {
+    echo "gpad-smoke: no advice report in response" >&2
+    exit 1
+}
+echo "$R1" | grep -q '"optimizer":' || {
+    echo "gpad-smoke: no ranked advice entries in response" >&2
+    exit 1
+}
+echo "$R2" | grep -q '"cached": true' || {
+    echo "gpad-smoke: second response was not a cache hit" >&2
+    echo "$R2" >&2
+    exit 1
+}
+
+# The determinism contract: modulo the cached flag, the cold and cached
+# response bodies are byte-identical.
+N1=$(echo "$R1" | sed 's/"cached": false/"cached": X/')
+N2=$(echo "$R2" | sed 's/"cached": true/"cached": X/')
+if [ "$N1" != "$N2" ]; then
+    echo "gpad-smoke: cached response differs from cold response" >&2
+    exit 1
+fi
+
+# /statsz: one simulation, one hit.
+STATS=$(curl -sf "http://$ADDR/statsz")
+echo "$STATS" | grep -q '"runs": 1' || {
+    echo "gpad-smoke: expected exactly one simulation, got: $STATS" >&2
+    exit 1
+}
+echo "$STATS" | grep -q '"hits": 1' || {
+    echo "gpad-smoke: expected one cache hit, got: $STATS" >&2
+    exit 1
+}
+
+echo "gpad-smoke: OK (one simulation, cache hit byte-identical)"
