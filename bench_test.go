@@ -15,6 +15,7 @@
 package gpa_test
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -33,7 +34,7 @@ func BenchmarkTable3(b *testing.B) {
 			var out *kernels.Outcome
 			var err error
 			for i := 0; i < b.N; i++ {
-				out, err = row.Run(kernels.RunOptions{Seed: 11})
+				out, err = row.Run(context.Background(), kernels.RunOptions{Seed: 11})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -52,7 +53,7 @@ func BenchmarkFigure7(b *testing.B) {
 			var before, after float64
 			var err error
 			for i := 0; i < b.N; i++ {
-				before, after, err = kernels.Coverage(row, kernels.RunOptions{Seed: 11})
+				before, after, err = kernels.Coverage(context.Background(), row, kernels.RunOptions{Seed: 11})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -96,7 +97,7 @@ func BenchmarkPipelineSimulate(b *testing.B) {
 			opts.Parallelism = tc.parallelism
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := k.Measure(opts); err != nil {
+				if _, err := k.Measure(context.Background(), opts); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -108,7 +109,7 @@ func BenchmarkPipelineProfile(b *testing.B) {
 	k, opts := pipelineFixture(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := k.Profile(opts); err != nil {
+		if _, err := k.Profile(context.Background(), opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -116,13 +117,13 @@ func BenchmarkPipelineProfile(b *testing.B) {
 
 func BenchmarkPipelineAdvise(b *testing.B) {
 	k, opts := pipelineFixture(b)
-	prof, err := k.Profile(opts)
+	prof, err := k.Profile(context.Background(), opts)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := k.AdviseFromProfile(prof, opts); err != nil {
+		if _, err := k.AdviseFromProfile(context.Background(), prof, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -130,7 +131,7 @@ func BenchmarkPipelineAdvise(b *testing.B) {
 
 func BenchmarkPruningAblation(b *testing.B) {
 	k, opts := pipelineFixture(b)
-	prof, err := k.Profile(opts)
+	prof, err := k.Profile(context.Background(), opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func BenchmarkPruningAblation(b *testing.B) {
 
 func BenchmarkApportionAblation(b *testing.B) {
 	k, opts := pipelineFixture(b)
-	prof, err := k.Profile(opts)
+	prof, err := k.Profile(context.Background(), opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func BenchmarkEstimatorAccuracy(b *testing.B) {
 		var achieved, estimated []float64
 		var errSum float64
 		for _, row := range kernels.All() {
-			out, err := row.Run(kernels.RunOptions{Seed: 11})
+			out, err := row.Run(context.Background(), kernels.RunOptions{Seed: 11})
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -1,34 +1,54 @@
 // Command drift-check prints a digest of simulator-visible behavior for
 // comparing builds: per-row measured cycles and a hash of the full
 // profile (sample counters included) for a few representative rows.
+// Ctrl-C / SIGTERM cancels the in-flight simulation and exits non-zero.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
 
 	"gpa"
 	"gpa/internal/kernels"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
+		if errors.Is(err, gpa.ErrCanceled) {
+			fmt.Fprintln(os.Stderr, "drift-check: interrupted")
+			os.Exit(130)
+		}
+		fmt.Fprintln(os.Stderr, "drift-check:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context) error {
 	for _, b := range kernels.All() {
 		k, wl, err := b.Base.Build()
 		if err != nil {
-			panic(err)
+			return err
 		}
 		opts := &gpa.Options{Workload: wl, Seed: 11, SimSMs: 4}
-		cycles, err := k.Measure(opts)
+		cycles, err := k.Measure(ctx, opts)
 		if err != nil {
-			panic(err)
+			return err
 		}
-		prof, err := k.Profile(opts)
+		prof, err := k.Profile(ctx, opts)
 		if err != nil {
-			panic(err)
+			return err
 		}
 		digest, err := prof.Digest()
 		if err != nil {
-			panic(err)
+			return err
 		}
 		fmt.Printf("%-60s cycles=%-10d profile=%s\n", b.ID(), cycles, digest[:16])
 	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -22,7 +23,7 @@ import (
 // served by an earlier mode in the same invocation (-table3 on the
 // default arch) come back from the engine's cache. smokeRows > 0
 // limits the sweep to the first smokeRows rows (the CI smoke mode).
-func runArchSweep(cfg sweepConfig, jsonOut string, smokeRows int) error {
+func runArchSweep(ctx context.Context, cfg sweepConfig, jsonOut string, smokeRows int) error {
 	gpus := arch.All()
 	rows := kernels.All()
 	if smokeRows > 0 && smokeRows < len(rows) {
@@ -46,7 +47,7 @@ func runArchSweep(cfg sweepConfig, jsonOut string, smokeRows int) error {
 		g, b := gpus[i/len(rows)], rows[i%len(rows)]
 		ro := cfg.runOptions()
 		ro.GPU = g
-		cells[i].out, cells[i].err = b.Run(ro)
+		cells[i].out, cells[i].err = b.Run(ctx, ro)
 	})
 	for i := range cells {
 		if err := cells[i].err; err != nil {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -79,7 +80,7 @@ func timeStage(reps int, fn func() error) (float64, error) {
 // runBenchSnapshot times the pipeline stages on the representative
 // rodinia/hotspot row at SimSMs=4 on the selected GPU model (nil = the
 // default V100) and writes the snapshot JSON.
-func runBenchSnapshot(path string, reps int, seed uint64, baselineNs float64, gpu *arch.GPU) error {
+func runBenchSnapshot(ctx context.Context, path string, reps int, seed uint64, baselineNs float64, gpu *arch.GPU) error {
 	if reps <= 0 {
 		reps = 1
 	}
@@ -113,7 +114,7 @@ func runBenchSnapshot(path string, reps int, seed uint64, baselineNs float64, gp
 		Reps:         reps,
 	}
 
-	prof, err := k.Profile(seqOpts)
+	prof, err := k.Profile(ctx, seqOpts)
 	if err != nil {
 		return err
 	}
@@ -121,16 +122,16 @@ func runBenchSnapshot(path string, reps int, seed uint64, baselineNs float64, gp
 		name string
 		fn   func() error
 	}{
-		{"simulate_seq", func() error { _, err := k.Measure(seqOpts); return err }},
-		{"simulate_par", func() error { _, err := k.Measure(parOpts); return err }},
-		{"profile", func() error { _, err := k.Profile(seqOpts); return err }},
-		{"advise", func() error { _, err := k.AdviseFromProfile(prof, seqOpts); return err }},
+		{"simulate_seq", func() error { _, err := k.Measure(ctx, seqOpts); return err }},
+		{"simulate_par", func() error { _, err := k.Measure(ctx, parOpts); return err }},
+		{"profile", func() error { _, err := k.Profile(ctx, seqOpts); return err }},
+		{"advise", func() error { _, err := k.AdviseFromProfile(ctx, prof, seqOpts); return err }},
 		{"row_seq", func() error {
-			_, err := row.Run(kernels.RunOptions{GPU: gpu, Seed: seed, SimSMs: simSMs})
+			_, err := row.Run(ctx, kernels.RunOptions{GPU: gpu, Seed: seed, SimSMs: simSMs})
 			return err
 		}},
 		{"row_par", func() error {
-			_, err := row.Run(kernels.RunOptions{GPU: gpu, Seed: seed, SimSMs: simSMs,
+			_, err := row.Run(ctx, kernels.RunOptions{GPU: gpu, Seed: seed, SimSMs: simSMs,
 				Parallel: true, Parallelism: runtime.GOMAXPROCS(0)})
 			return err
 		}},
@@ -145,7 +146,7 @@ func runBenchSnapshot(path string, reps int, seed uint64, baselineNs float64, gp
 		snap.Stages = append(snap.Stages, stageResult{Name: st.name, NsPerOp: ns})
 		fmt.Printf("bench: %-14s %14.0f ns/op\n", st.name, ns)
 	}
-	engineStages, err := benchEngine(reps, seed, gpu)
+	engineStages, err := benchEngine(ctx, reps, seed, gpu)
 	if err != nil {
 		return fmt.Errorf("bench: engine: %w", err)
 	}
@@ -177,7 +178,7 @@ func runBenchSnapshot(path string, reps int, seed uint64, baselineNs float64, gp
 // pass (same engine again, every job a cache hit), at worker-pool
 // sizes 1 and 4. Throughput is kernels advised per second of
 // wall-clock batch time.
-func benchEngine(reps int, seed uint64, gpu *arch.GPU) ([]engineStageResult, error) {
+func benchEngine(ctx context.Context, reps int, seed uint64, gpu *arch.GPU) ([]engineStageResult, error) {
 	rows := kernels.All()
 	jobs := make([]gpa.Job, len(rows))
 	for i, b := range rows {
@@ -195,7 +196,7 @@ func benchEngine(reps int, seed uint64, gpu *arch.GPU) ([]engineStageResult, err
 		}
 	}
 	doAll := func(eng *gpa.Engine) error {
-		for _, r := range eng.DoAll(jobs) {
+		for _, r := range eng.DoAll(ctx, jobs) {
 			if r.Err != nil {
 				return r.Err
 			}

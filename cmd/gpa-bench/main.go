@@ -32,12 +32,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"gpa"
 	"gpa/internal/arch"
@@ -100,6 +104,10 @@ func main() {
 	baselineNs := flag.Float64("bench-baseline-ns", 0,
 		"externally measured reference ns/op for the sequential simulate stage (e.g. the seed commit), recorded in the -bench snapshot")
 	flag.Parse()
+	// Ctrl-C / SIGTERM cancels every in-flight simulation; sweeps print
+	// whichever rows completed before the interrupt and exit non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *all {
 		*table3, *fig7, *cases = true, true, true
 	}
@@ -136,17 +144,17 @@ func main() {
 		cfg.gpu = g
 	}
 	if *table3 {
-		if err := runTable3(cfg, *jsonOut); err != nil {
+		if err := runTable3(ctx, cfg, *jsonOut); err != nil {
 			fail(err)
 		}
 	}
 	if *fig7 {
-		if err := runFigure7(cfg); err != nil {
+		if err := runFigure7(ctx, cfg); err != nil {
 			fail(err)
 		}
 	}
 	if *cases {
-		if err := runCaseStudies(cfg); err != nil {
+		if err := runCaseStudies(ctx, cfg); err != nil {
 			fail(err)
 		}
 	}
@@ -160,12 +168,12 @@ func main() {
 			// -json already consumed by the Table 3 sweep above.
 			sweepJSON = ""
 		}
-		if err := runArchSweep(cfg, sweepJSON, smokeRows); err != nil {
+		if err := runArchSweep(ctx, cfg, sweepJSON, smokeRows); err != nil {
 			fail(err)
 		}
 	}
 	if *benchOut != "" {
-		if err := runBenchSnapshot(*benchOut, *benchReps, *seed, *baselineNs, cfg.gpu); err != nil {
+		if err := runBenchSnapshot(ctx, *benchOut, *benchReps, *seed, *baselineNs, cfg.gpu); err != nil {
 			fail(err)
 		}
 	}
@@ -175,41 +183,54 @@ func fail(err error) {
 	// os.Exit skips deferred cleanup; flush any active CPU profile so
 	// -cpuprofile output stays usable on error paths.
 	pprof.StopCPUProfile()
+	if errors.Is(err, gpa.ErrCanceled) {
+		fmt.Fprintln(os.Stderr, "gpa-bench: interrupted")
+		os.Exit(130)
+	}
 	fmt.Fprintln(os.Stderr, "gpa-bench:", err)
 	os.Exit(1)
 }
 
 // sweep runs every benchmark in rows, concurrently when cfg.parallel is
 // set (through the shared engine's worker pool when one is configured),
-// preserving row order in the returned slice.
-func sweep(rows []*kernels.Benchmark, cfg sweepConfig) ([]*kernels.Outcome, error) {
+// preserving row order in the returned slice. On cancellation the
+// completed rows keep their outcomes (nil marks unfinished ones) and
+// the first error is returned alongside them.
+func sweep(ctx context.Context, rows []*kernels.Benchmark, cfg sweepConfig) ([]*kernels.Outcome, error) {
 	outs := make([]*kernels.Outcome, len(rows))
 	errs := make([]error, len(rows))
 	par.Do(len(rows), cfg.sweepWorkers(len(rows)), func(i int) {
-		outs[i], errs[i] = rows[i].Run(cfg.runOptions())
+		outs[i], errs[i] = rows[i].Run(ctx, cfg.runOptions())
 	})
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return outs, err
 		}
 	}
 	return outs, nil
 }
 
-func runTable3(cfg sweepConfig, jsonOut string) error {
+func runTable3(ctx context.Context, cfg sweepConfig, jsonOut string) error {
 	rows := kernels.All()
-	outs, err := sweep(rows, cfg)
-	if err != nil {
-		return err
+	outs, sweepErr := sweep(ctx, rows, cfg)
+	if sweepErr != nil && !errors.Is(sweepErr, gpa.ErrCanceled) {
+		return sweepErr
 	}
 	fmt.Println("Table 3. Achieved and estimated speedups per benchmark")
 	fmt.Println(strings.Repeat("=", 132))
 	fmt.Printf("%-24s %-26s %-30s %9s %9s %9s %9s %6s %5s\n",
 		"Application", "Kernel", "Optimization",
 		"Achieved", "(paper)", "Estimated", "(paper)", "Error", "Rank")
-	var achieved, estimated, errors []float64
+	var achieved, estimated, estErrors []float64
+	done := 0
 	for i, b := range rows {
 		out := outs[i]
+		if out == nil {
+			// Canceled before this row finished; completed rows still
+			// print below.
+			continue
+		}
+		done++
 		fmt.Printf("%-24s %-26s %-30s %8.2fx %8.2fx %8.2fx %8.2fx %5.0f%% %5d\n",
 			b.App, b.Kernel, b.Optimization,
 			out.Achieved, b.PaperAchieved,
@@ -221,22 +242,26 @@ func runTable3(cfg sweepConfig, jsonOut string) error {
 		// rows. On the default V100 every row matches.
 		if out.Rank != 0 {
 			estimated = append(estimated, out.Estimated)
-			errors = append(errors, out.Error)
+			estErrors = append(estErrors, out.Error)
 		}
 	}
 	fmt.Println(strings.Repeat("-", 132))
 	var errSum, meanErr float64
-	for _, e := range errors {
+	for _, e := range estErrors {
 		errSum += e
 	}
-	if len(errors) > 0 {
-		meanErr = errSum / float64(len(errors))
+	if len(estErrors) > 0 {
+		meanErr = errSum / float64(len(estErrors))
 	}
 	fmt.Printf("%-82s %8.2fx %8.2fx %8.2fx %8.2fx %5.1f%%\n",
 		"geomean",
 		kernels.GeoMean(achieved), 1.22,
 		kernels.GeoMean(estimated), 1.26,
 		meanErr*100)
+	if sweepErr != nil {
+		fmt.Printf("(interrupted: %d of %d rows completed)\n\n", done, len(rows))
+		return sweepErr
+	}
 	fmt.Println()
 	if jsonOut != "" {
 		if err := writeTable3JSON(jsonOut, cfg.seed, rows, outs); err != nil {
@@ -247,12 +272,12 @@ func runTable3(cfg sweepConfig, jsonOut string) error {
 	return nil
 }
 
-func runFigure7(cfg sweepConfig) error {
+func runFigure7(ctx context.Context, cfg sweepConfig) error {
 	fmt.Println("Figure 7. Single dependency coverage before and after pruning cold edges")
 	fmt.Println(strings.Repeat("=", 72))
 	fmt.Printf("%-26s %10s %10s   %s\n", "Benchmark", "Before", "After", "")
 	for _, b := range kernels.Rodinia() {
-		before, after, err := kernels.Coverage(b, cfg.runOptions())
+		before, after, err := kernels.Coverage(ctx, b, cfg.runOptions())
 		if err != nil {
 			return err
 		}
@@ -263,11 +288,11 @@ func runFigure7(cfg sweepConfig) error {
 	return nil
 }
 
-func runCaseStudies(cfg sweepConfig) error {
+func runCaseStudies(ctx context.Context, cfg sweepConfig) error {
 	for _, app := range []string{"ExaTENSOR", "Quicksilver", "PeleC", "Minimod"} {
 		fmt.Printf("Case study: %s\n%s\n", app, strings.Repeat("=", 60))
 		rows := kernels.Find(app)
-		outs, err := sweep(rows, cfg)
+		outs, err := sweep(ctx, rows, cfg)
 		if err != nil {
 			return err
 		}

@@ -31,10 +31,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"gpa"
 	"gpa/internal/arch"
@@ -47,6 +51,11 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// Ctrl-C / SIGTERM cancels the in-flight simulation through the
+	// same context every library call takes; the simulator's cancel
+	// checkpoints make it return promptly and the CLI exits non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "list":
@@ -54,11 +63,11 @@ func main() {
 	case "archs":
 		err = runArchs()
 	case "advise":
-		err = runAdvise(os.Args[2:])
+		err = runAdvise(ctx, os.Args[2:])
 	case "profile":
-		err = runProfile(os.Args[2:])
+		err = runProfile(ctx, os.Args[2:])
 	case "analyze":
-		err = runAnalyze(os.Args[2:])
+		err = runAnalyze(ctx, os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -67,6 +76,10 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
+		if errors.Is(err, gpa.ErrCanceled) {
+			fmt.Fprintln(os.Stderr, "gpa: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "gpa:", err)
 		os.Exit(1)
 	}
@@ -167,7 +180,7 @@ func (lf *launchFlags) kernel() (*gpa.Kernel, *gpa.Options, error) {
 	return k, &gpa.Options{GPU: gpu, SamplePeriod: lf.period, Seed: lf.seed, SimSMs: 1}, nil
 }
 
-func runAdvise(args []string) error {
+func runAdvise(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("advise", flag.ExitOnError)
 	var lf launchFlags
 	lf.register(fs)
@@ -189,7 +202,7 @@ func runAdvise(args []string) error {
 		if err != nil {
 			return err
 		}
-		report, err := k.Advise(&gpa.Options{GPU: gpu, Workload: wl, Seed: lf.seed, SimSMs: 1})
+		report, err := k.Advise(ctx, &gpa.Options{GPU: gpu, Workload: wl, Seed: lf.seed, SimSMs: 1})
 		if err != nil {
 			return err
 		}
@@ -200,7 +213,7 @@ func runAdvise(args []string) error {
 	if err != nil {
 		return err
 	}
-	report, err := k.Advise(opts)
+	report, err := k.Advise(ctx, opts)
 	if err != nil {
 		return err
 	}
@@ -208,7 +221,7 @@ func runAdvise(args []string) error {
 	return nil
 }
 
-func runProfile(args []string) error {
+func runProfile(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("profile", flag.ExitOnError)
 	var lf launchFlags
 	lf.register(fs)
@@ -220,7 +233,7 @@ func runProfile(args []string) error {
 	if err != nil {
 		return err
 	}
-	prof, err := k.Profile(opts)
+	prof, err := k.Profile(ctx, opts)
 	if err != nil {
 		return err
 	}
@@ -233,7 +246,7 @@ func runProfile(args []string) error {
 	return nil
 }
 
-func runAnalyze(args []string) error {
+func runAnalyze(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	var lf launchFlags
 	lf.register(fs)
@@ -252,7 +265,7 @@ func runAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
-	report, err := k.AdviseFromProfile(prof, opts)
+	report, err := k.AdviseFromProfile(ctx, prof, opts)
 	if err != nil {
 		return err
 	}

@@ -5,16 +5,33 @@
 // singleflight table before it is allowed to cost a simulation, so N
 // identical concurrent requests cost one simulation and repeated
 // requests cost none; a bounded worker pool caps concurrent
-// simulations machine-wide.
+// simulations machine-wide, and -max-queue turns the daemon into a
+// load-shedding server that answers 503 queue_full instead of queueing
+// without bound.
+//
+// Responses follow the versioned structured result schema
+// (gpa.ResultSchemaVersion): schemaVersion, structured advice entries,
+// the profile digest, the architecture key, and run timing, with the
+// legacy Figure 8 text riding along in "report". Failures map the
+// typed error taxonomy (gpa.ErrUnknownArch, ErrBadKernel, ErrAssemble,
+// ErrCanceled, ErrQueueFull, ...) to HTTP status codes with stable
+// machine-readable "code" fields.
+//
+// Cancellation runs end-to-end: a client that disconnects cancels its
+// queued or in-flight simulation (coalesced duplicates only detach the
+// leaving waiter), per-job deadlines come from "timeoutMs" or
+// -job-timeout, and SIGTERM drains gracefully — stop accepting, cancel
+// queued jobs, give in-flight simulations -drain-timeout to finish,
+// then cancel the stragglers.
 //
 // Endpoints:
 //
 //	POST /v1/advise   Advise one kernel (SASS text, CUBIN blob, or a
 //	                  bundled Table 3 benchmark by name). Returns the
-//	                  ranked advice, the rendered Figure 8 report text
-//	                  (byte-identical between cold runs and cache
-//	                  hits), cycles, the cache key, and a stable
-//	                  profile digest for drift checks.
+//	                  structured ranked advice, the rendered Figure 8
+//	                  report text (byte-identical between cold runs
+//	                  and cache hits), cycles, the cache key, and a
+//	                  stable profile digest for drift checks.
 //	POST /v1/profile  Run the sampling profiler only; returns the
 //	                  profile JSON for offline analysis.
 //	POST /v1/batch    Fan a list of requests (mixed kinds: advise,
@@ -24,7 +41,7 @@
 //	GET  /v1/archs    List the registered GPU architecture models.
 //	GET  /healthz     Liveness probe.
 //	GET  /statsz      Engine counters: hits, misses, coalesced,
-//	                  inflight, runs, evictions, cache size.
+//	                  canceled, shed, inflight, runs, evictions.
 //
 // The simulator is deterministic, so gpad's responses are a pure
 // function of the request: two deployments answering the same request
@@ -52,11 +69,19 @@ func main() {
 	workers := flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	cacheEntries := flag.Int("cache-entries", 0,
 		"LRU result cache capacity (0 = 512, negative disables caching)")
+	maxQueue := flag.Int("max-queue", 0,
+		"max jobs waiting for a worker before shedding with 503 queue_full (0 = unbounded)")
+	jobTimeout := flag.Duration("job-timeout", 0,
+		"default per-job deadline (0 = none; requests override with timeoutMs)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
+		"how long in-flight jobs get to finish on shutdown before being canceled")
 	flag.Parse()
 
 	eng := gpa.NewEngine(&gpa.EngineOptions{
-		Workers:      *workers,
-		CacheEntries: *cacheEntries,
+		Workers:        *workers,
+		CacheEntries:   *cacheEntries,
+		MaxQueue:       *maxQueue,
+		DefaultTimeout: *jobTimeout,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
@@ -85,12 +110,23 @@ func main() {
 			os.Exit(1)
 		}
 	case <-ctx.Done():
-		log.Printf("gpad: shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// Graceful drain: stop accepting, cancel queued jobs, give
+		// in-flight simulations drainTimeout to finish, then cancel
+		// them too (the simulator's cancel checkpoints make the cancel
+		// land promptly). Engine and HTTP server drain concurrently —
+		// handlers blocked on queued jobs return as soon as the engine
+		// abandons those jobs.
+		log.Printf("gpad: draining (deadline %s)", *drainTimeout)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
-		if err := srv.Shutdown(shutdownCtx); err != nil {
-			fmt.Fprintln(os.Stderr, "gpad: shutdown:", err)
-			os.Exit(1)
+		engErr := make(chan error, 1)
+		go func() { engErr <- eng.Shutdown(drainCtx) }()
+		if err := srv.Shutdown(drainCtx); err != nil {
+			log.Printf("gpad: http shutdown: %v", err)
 		}
+		if err := <-engErr; err != nil {
+			log.Printf("gpad: engine shutdown: %v", err)
+		}
+		log.Printf("gpad: shutdown complete")
 	}
 }

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -9,17 +11,18 @@ import (
 	"gpa"
 	"gpa/internal/arch"
 	"gpa/internal/kernels"
-	"gpa/internal/profiler"
 	"gpa/internal/service"
-
-	adv "gpa/internal/advisor"
 )
 
 // maxBodyBytes bounds request bodies (SASS text and CUBIN blobs are
 // small; anything bigger is abuse).
 const maxBodyBytes = 8 << 20
 
-// server is the HTTP front end over one shared engine.
+// server is the HTTP front end over one shared engine. Every handler
+// derives its job context from the request context, so a client that
+// disconnects cancels its queued or in-flight work (coalesced
+// duplicates only detach the leaving waiter; the shared simulation
+// keeps running for the rest).
 type server struct {
 	eng     *gpa.Engine
 	started time.Time
@@ -74,6 +77,10 @@ type kernelRequest struct {
 	SamplePeriod int     `json:"samplePeriod,omitempty"`
 	SimSMs       int     `json:"simSMs,omitempty"`
 	Seed         *uint64 `json:"seed,omitempty"` // default 11
+	// TimeoutMS is this job's deadline in milliseconds, measured from
+	// admission (0 = the server's -job-timeout default). Expiry returns
+	// 504 with code "deadline_exceeded".
+	TimeoutMS int `json:"timeoutMs,omitempty"`
 }
 
 // job converts the request to an engine job.
@@ -84,6 +91,7 @@ func (r *kernelRequest) job() (gpa.Job, error) {
 		return job, err
 	}
 	job.Kind = kind
+	job.Timeout = time.Duration(r.TimeoutMS) * time.Millisecond
 
 	opts := &gpa.Options{
 		SamplePeriod: r.SamplePeriod,
@@ -116,6 +124,14 @@ func (r *kernelRequest) job() (gpa.Job, error) {
 	}
 
 	if r.Bench != "" {
+		// A bundled benchmark carries its own entry and launch shape;
+		// silently ignoring user-supplied ones would return results for
+		// a launch the client did not ask about.
+		if r.Entry != "" || r.GridX != 0 || r.GridY != 0 || r.GridZ != 0 ||
+			r.BlockX != 0 || r.BlockY != 0 || r.BlockZ != 0 ||
+			r.RegsPerThread != 0 || r.SharedMemPerBlock != 0 {
+			return job, fmt.Errorf("bench requests use the benchmark's own entry and launch; remove entry/grid/block/regs/shared fields")
+		}
 		b := findBench(r.Bench)
 		if b == nil {
 			return job, fmt.Errorf("no bundled benchmark %q (see `gpa list`)", r.Bench)
@@ -175,59 +191,79 @@ func findBench(name string) *kernels.Benchmark {
 	return nil
 }
 
-// kernelResponse is the JSON result of one job.
-type kernelResponse struct {
-	Kernel string `json:"kernel"`
-	// Arch is the canonical key of the model the job ran on.
-	Arch string `json:"arch"`
-	Kind string `json:"kind"`
-	// Key is the content-addressed cache key.
-	Key string `json:"key"`
-	// Cached is true when no new simulation ran (cache hit or
-	// coalesced with an identical in-flight request).
-	Cached bool  `json:"cached"`
-	Cycles int64 `json:"cycles"`
-	// ProfileDigest is the profile's stable content digest (profile
-	// and advise kinds) for cross-deployment drift checks.
-	ProfileDigest string `json:"profileDigest,omitempty"`
-	// Report is the rendered Figure 8-style advice text (advise kind);
-	// byte-identical between cold runs and cache hits.
-	Report string `json:"report,omitempty"`
-	// Advice is the structured ranked advice (advise kind).
-	Advice *adv.Advice `json:"advice,omitempty"`
-	// Profile is included for the profile kind only (advise responses
-	// stay compact; re-request with /v1/profile for the raw samples).
-	Profile *profiler.Profile `json:"profile,omitempty"`
-	Error   string            `json:"error,omitempty"`
+// statusClientClosed is the conventional (nginx) status for a request
+// abandoned by its client; the response is moot, but batch entries and
+// logs still record it.
+const statusClientClosed = 499
+
+// classify maps an error from the engine or request construction to
+// its HTTP status and stable machine-readable code. This table IS the
+// v2 error contract: one row per typed sentinel, pinned by tests.
+func classify(err error) (status int, code string) {
+	switch {
+	// Deadline first: an expired per-job deadline wraps both
+	// ErrCanceled and context.DeadlineExceeded.
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline_exceeded"
+	case errors.Is(err, gpa.ErrCanceled):
+		return statusClientClosed, "canceled"
+	case errors.Is(err, gpa.ErrQueueFull):
+		return http.StatusServiceUnavailable, "queue_full"
+	case errors.Is(err, gpa.ErrShuttingDown):
+		return http.StatusServiceUnavailable, "shutting_down"
+	case errors.Is(err, gpa.ErrUnknownArch):
+		return http.StatusBadRequest, "unknown_arch"
+	case errors.Is(err, gpa.ErrAssemble):
+		return http.StatusUnprocessableEntity, "assemble_failed"
+	case errors.Is(err, gpa.ErrBadKernel):
+		return http.StatusUnprocessableEntity, "bad_kernel"
+	case errors.Is(err, gpa.ErrSimLimit):
+		return http.StatusUnprocessableEntity, "sim_limit"
+	}
+	return http.StatusInternalServerError, "internal"
 }
 
-// response converts a job + result into the wire shape.
-func response(job gpa.Job, res gpa.JobResult) *kernelResponse {
-	if res.Err != nil {
-		return &kernelResponse{Error: res.Err.Error()}
+// errInfo is the structured error payload of the v2 schema.
+type errInfo struct {
+	// Code is the stable machine-readable error class (see classify).
+	Code string `json:"code"`
+	// Status echoes the HTTP status the code maps to, so batch entries
+	// (delivered inside a 200 envelope) stay self-describing.
+	Status  int    `json:"status"`
+	Message string `json:"message"`
+}
+
+// errorBody is the JSON body of every error response.
+type errorBody struct {
+	SchemaVersion string  `json:"schemaVersion"`
+	Error         errInfo `json:"error"`
+}
+
+func errorBodyOf(err error) (int, *errorBody) {
+	status, code := classify(err)
+	return status, &errorBody{
+		SchemaVersion: gpa.ResultSchemaVersion,
+		Error:         errInfo{Code: code, Status: status, Message: err.Error()},
 	}
-	o := job.Options
-	gpu := gpa.V100()
-	if o != nil && o.GPU != nil {
-		gpu = o.GPU
+}
+
+// requestErrorBody maps request-construction failures: typed errors go
+// through the taxonomy (assemble_failed, unknown_arch, ...); anything
+// untyped at this stage is a malformed request, not a server fault.
+func requestErrorBody(err error) (int, *errorBody) {
+	if status, _ := classify(err); status != http.StatusInternalServerError {
+		return errorBodyOf(err)
 	}
-	resp := &kernelResponse{
-		Kernel:        job.Kernel.Launch.Entry,
-		Arch:          gpa.GPUName(gpu),
-		Kind:          job.Kind.String(),
-		Key:           res.Key,
-		Cached:        res.Cached,
-		Cycles:        res.Cycles,
-		ProfileDigest: res.ProfileDigest,
+	return http.StatusBadRequest, &errorBody{
+		SchemaVersion: gpa.ResultSchemaVersion,
+		Error:         errInfo{Code: "bad_request", Status: http.StatusBadRequest, Message: err.Error()},
 	}
-	if res.Report != nil {
-		resp.Report = res.Report.String()
-		resp.Advice = res.Report.Advice
-	}
-	if job.Kind == gpa.JobProfile {
-		resp.Profile = res.Profile
-	}
-	return resp
+}
+
+// writeRequestError writes a requestErrorBody response.
+func writeRequestError(w http.ResponseWriter, err error) {
+	status, body := requestErrorBody(err)
+	writeJSON(w, status, body)
 }
 
 func (s *server) handleAdvise(w http.ResponseWriter, r *http.Request) {
@@ -247,15 +283,15 @@ func (s *server) handleOne(w http.ResponseWriter, r *http.Request, kind gpa.JobK
 	req.Kind = kind.String()
 	job, err := req.job()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeRequestError(w, err)
 		return
 	}
-	res := s.eng.Do(job)
+	res := s.eng.Do(r.Context(), job)
 	if res.Err != nil {
-		writeError(w, http.StatusUnprocessableEntity, res.Err)
+		writeTypedError(w, res.Err)
 		return
 	}
-	writeJSON(w, http.StatusOK, response(job, res))
+	writeJSON(w, http.StatusOK, job.Result(res))
 }
 
 // batchRequest fans several kernel requests (mixed kinds allowed)
@@ -264,8 +300,12 @@ type batchRequest struct {
 	Requests []kernelRequest `json:"requests"`
 }
 
+// batchResponse carries one v2 Result or one errorBody per entry,
+// positionally aligned with the request list; the envelope itself is
+// always 200 for an admissible batch.
 type batchResponse struct {
-	Results []*kernelResponse `json:"results"`
+	SchemaVersion string `json:"schemaVersion"`
+	Results       []any  `json:"results"`
 }
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -274,24 +314,33 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Requests) == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		writeBadRequest(w, fmt.Errorf("empty batch"))
 		return
 	}
-	out := batchResponse{Results: make([]*kernelResponse, len(req.Requests))}
+	out := batchResponse{
+		SchemaVersion: gpa.ResultSchemaVersion,
+		Results:       make([]any, len(req.Requests)),
+	}
 	live := make([]int, 0, len(req.Requests))
 	liveJobs := make([]gpa.Job, 0, len(req.Requests))
 	for i := range req.Requests {
 		job, err := req.Requests[i].job()
 		if err != nil {
-			out.Results[i] = &kernelResponse{Error: err.Error()}
+			_, body := requestErrorBody(err)
+			out.Results[i] = body
 			continue
 		}
 		live = append(live, i)
 		liveJobs = append(liveJobs, job)
 	}
-	results := s.eng.DoAll(liveJobs)
+	results := s.eng.DoAll(r.Context(), liveJobs)
 	for n, i := range live {
-		out.Results[i] = response(liveJobs[n], results[n])
+		if err := results[n].Err; err != nil {
+			_, body := errorBodyOf(err)
+			out.Results[i] = body
+			continue
+		}
+		out.Results[i] = liveJobs[n].Result(results[n])
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -304,7 +353,8 @@ type sweepRequest struct {
 }
 
 type sweepResponse struct {
-	Results []*kernelResponse `json:"results"`
+	SchemaVersion string `json:"schemaVersion"`
+	Results       []any  `json:"results"`
 }
 
 func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -314,8 +364,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Arch != "" {
 		if len(req.Archs) > 0 {
-			writeError(w, http.StatusBadRequest,
-				fmt.Errorf("set either arch or archs, not both"))
+			writeBadRequest(w, fmt.Errorf("set either arch or archs, not both"))
 			return
 		}
 		// A lone arch is a one-model sweep.
@@ -325,7 +374,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	for _, name := range req.Archs {
 		g, err := gpa.LookupGPU(name)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeRequestError(w, err)
 			return
 		}
 		gpus = append(gpus, g)
@@ -333,17 +382,25 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	req.Arch = "" // per-arch options are set by Sweep
 	job, err := req.job()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeRequestError(w, err)
 		return
 	}
-	gpus, results := s.eng.Sweep(job, gpus)
-	out := sweepResponse{Results: make([]*kernelResponse, len(gpus))}
+	gpus, results := s.eng.Sweep(r.Context(), job, gpus)
+	out := sweepResponse{
+		SchemaVersion: gpa.ResultSchemaVersion,
+		Results:       make([]any, len(gpus)),
+	}
 	for i, g := range gpus {
+		if err := results[i].Err; err != nil {
+			_, body := errorBodyOf(err)
+			out.Results[i] = body
+			continue
+		}
 		jg := job
 		o := *job.Options
 		o.GPU = g
 		jg.Options = &o
-		out.Results[i] = response(jg, results[i])
+		out.Results[i] = jg.Result(results[i])
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -388,7 +445,7 @@ func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 func (s *server) post(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
-			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+			writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", fmt.Errorf("use POST"))
 			return
 		}
 		h(w, r)
@@ -398,7 +455,7 @@ func (s *server) post(h http.HandlerFunc) http.HandlerFunc {
 func (s *server) get(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
-			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+			writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", fmt.Errorf("use GET"))
 			return
 		}
 		h(w, r)
@@ -411,7 +468,7 @@ func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		writeBadRequest(w, fmt.Errorf("bad request body: %w", err))
 		return false
 	}
 	return true
@@ -425,6 +482,25 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// writeTypedError maps err through the taxonomy table and writes the
+// v2 error body; shed-load responses advertise a retry.
+func writeTypedError(w http.ResponseWriter, err error) {
+	status, body := errorBodyOf(err)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, body)
+}
+
+// writeBadRequest reports malformed envelopes (bodies the taxonomy
+// never sees: undecodable JSON, empty batches, conflicting fields).
+func writeBadRequest(w http.ResponseWriter, err error) {
+	writeError(w, http.StatusBadRequest, "bad_request", err)
+}
+
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, &errorBody{
+		SchemaVersion: gpa.ResultSchemaVersion,
+		Error:         errInfo{Code: code, Status: status, Message: err.Error()},
+	})
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -84,7 +85,7 @@ func TestAdviseAsmAndCacheHit(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
-	var cold kernelResponse
+	var cold gpa.Result
 	if err := json.Unmarshal(body, &cold); err != nil {
 		t.Fatal(err)
 	}
@@ -94,18 +95,21 @@ func TestAdviseAsmAndCacheHit(t *testing.T) {
 	if cold.Kernel != "vecscale" || cold.Arch != "v100" || cold.Cycles <= 0 {
 		t.Errorf("bad response header fields: %+v", cold)
 	}
-	if cold.Advice == nil || len(cold.Advice.Entries) == 0 {
+	if cold.SchemaVersion != gpa.ResultSchemaVersion {
+		t.Errorf("schemaVersion = %q, want %q", cold.SchemaVersion, gpa.ResultSchemaVersion)
+	}
+	if len(cold.Advice) == 0 {
 		t.Fatal("no ranked advice entries")
 	}
-	if !strings.Contains(cold.Report, "GPA performance report for kernel vecscale") {
-		t.Errorf("report text missing header:\n%s", cold.Report)
+	if !strings.Contains(cold.ReportText, "GPA performance report for kernel vecscale") {
+		t.Errorf("report text missing header:\n%s", cold.ReportText)
 	}
 	if cold.ProfileDigest == "" || cold.Key == "" {
 		t.Error("missing profile digest or cache key")
 	}
 
 	_, body2 := postJSON(t, ts.URL+"/v1/advise", req)
-	var warm kernelResponse
+	var warm gpa.Result
 	if err := json.Unmarshal(body2, &warm); err != nil {
 		t.Fatal(err)
 	}
@@ -128,23 +132,23 @@ func TestAdviseBenchKernel(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
-	var out kernelResponse
+	var out gpa.Result
 	if err := json.Unmarshal(body, &out); err != nil {
 		t.Fatal(err)
 	}
-	if len(out.Advice.Entries) == 0 {
+	if len(out.Advice) == 0 {
 		t.Fatal("no advice for bundled benchmark")
 	}
 	// The bundled row must be cacheable (its workload has a stable key).
 	_, body2 := postJSON(t, ts.URL+"/v1/advise", map[string]any{"bench": "rodinia/hotspot"})
-	var warm kernelResponse
+	var warm gpa.Result
 	if err := json.Unmarshal(body2, &warm); err != nil {
 		t.Fatal(err)
 	}
 	if !warm.Cached {
 		t.Error("bundled benchmark repeat must hit the cache")
 	}
-	if warm.Report != out.Report {
+	if warm.ReportText != out.ReportText {
 		t.Error("cached bench report differs")
 	}
 }
@@ -166,19 +170,19 @@ func TestConcurrentIdenticalRequestsOneSimulation(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
-	var first kernelResponse
+	var first gpa.Result
 	if err := json.Unmarshal(bodies[0], &first); err != nil {
 		t.Fatal(err)
 	}
-	if first.Error != "" {
-		t.Fatal(first.Error)
+	if first.SchemaVersion != gpa.ResultSchemaVersion || first.ReportText == "" {
+		t.Fatalf("bad first response: %+v", first)
 	}
 	for i := 1; i < n; i++ {
-		var r kernelResponse
+		var r gpa.Result
 		if err := json.Unmarshal(bodies[i], &r); err != nil {
 			t.Fatal(err)
 		}
-		if r.Report != first.Report || r.ProfileDigest != first.ProfileDigest {
+		if r.ReportText != first.ReportText || r.ProfileDigest != first.ProfileDigest {
 			t.Fatalf("response %d differs", i)
 		}
 	}
@@ -208,7 +212,7 @@ func TestTable3CachedResponsesByteIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		report, err := k.Advise(&gpa.Options{
+		report, err := k.Advise(context.Background(), &gpa.Options{
 			Workload: wl, Seed: 11, SimSMs: 1, Parallelism: 1,
 		})
 		if err != nil {
@@ -221,22 +225,22 @@ func TestTable3CachedResponsesByteIdentical(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("%s: status %d: %s", b.ID(), resp.StatusCode, cold)
 		}
-		var coldR kernelResponse
+		var coldR gpa.Result
 		if err := json.Unmarshal(cold, &coldR); err != nil {
 			t.Fatal(err)
 		}
-		if coldR.Report != want {
+		if coldR.ReportText != want {
 			t.Errorf("%s: gpad report differs from cold sequential library run", b.ID())
 		}
 		_, warm := postJSON(t, ts.URL+"/v1/advise", req)
-		var warmR kernelResponse
+		var warmR gpa.Result
 		if err := json.Unmarshal(warm, &warmR); err != nil {
 			t.Fatal(err)
 		}
 		if !warmR.Cached {
 			t.Errorf("%s: repeat request missed the cache", b.ID())
 		}
-		if warmR.Report != coldR.Report || warmR.ProfileDigest != coldR.ProfileDigest ||
+		if warmR.ReportText != coldR.ReportText || warmR.ProfileDigest != coldR.ProfileDigest ||
 			warmR.Cycles != coldR.Cycles {
 			t.Errorf("%s: cached gpad response differs from its cold run", b.ID())
 		}
@@ -251,14 +255,14 @@ func TestProfileEndpoint(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
-	var out kernelResponse
+	var out gpa.Result
 	if err := json.Unmarshal(body, &out); err != nil {
 		t.Fatal(err)
 	}
 	if out.Profile == nil || out.Profile.TotalSamples == 0 {
 		t.Fatal("profile endpoint returned no samples")
 	}
-	if out.Report != "" {
+	if out.ReportText != "" {
 		t.Error("profile response must not carry a report")
 	}
 	if out.ProfileDigest == "" {
@@ -279,24 +283,45 @@ func TestBatchMixedKinds(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
-	var out batchResponse
+	var out struct {
+		SchemaVersion string            `json:"schemaVersion"`
+		Results       []json.RawMessage `json:"results"`
+	}
 	if err := json.Unmarshal(body, &out); err != nil {
 		t.Fatal(err)
+	}
+	if out.SchemaVersion != gpa.ResultSchemaVersion {
+		t.Errorf("batch schemaVersion = %q", out.SchemaVersion)
 	}
 	if len(out.Results) != 4 {
 		t.Fatalf("got %d results, want 4", len(out.Results))
 	}
-	if out.Results[0].Cycles <= 0 || out.Results[0].Report != "" {
-		t.Errorf("measure result wrong: %+v", out.Results[0])
+	var rs [4]gpa.Result
+	for i := 0; i < 3; i++ {
+		if err := json.Unmarshal(out.Results[i], &rs[i]); err != nil {
+			t.Fatal(err)
+		}
 	}
-	if out.Results[1].Advice == nil {
+	if rs[0].Cycles <= 0 || rs[0].ReportText != "" {
+		t.Errorf("measure result wrong: %+v", rs[0])
+	}
+	if len(rs[1].Advice) == 0 {
 		t.Error("advise result missing advice")
 	}
-	if out.Results[2].Error != "" {
-		t.Errorf("bench result errored: %s", out.Results[2].Error)
+	if len(rs[2].Advice) == 0 {
+		t.Errorf("bench result missing advice: %s", out.Results[2])
 	}
-	if out.Results[3].Error == "" {
-		t.Error("unknown bench must report a per-item error")
+	var bad struct {
+		Error struct {
+			Code   string `json:"code"`
+			Status int    `json:"status"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(out.Results[3], &bad); err != nil {
+		t.Fatal(err)
+	}
+	if bad.Error.Code != "bad_request" || bad.Error.Status != http.StatusBadRequest {
+		t.Errorf("unknown bench error = %+v, want bad_request/400", bad.Error)
 	}
 }
 
@@ -309,7 +334,9 @@ func TestSweepEndpoint(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
-	var out sweepResponse
+	var out struct {
+		Results []gpa.Result `json:"results"`
+	}
 	if err := json.Unmarshal(body, &out); err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +352,9 @@ func TestSweepEndpoint(t *testing.T) {
 
 	// Empty archs = every registered model.
 	_, body2 := postJSON(t, ts.URL+"/v1/sweep", map[string]any{"bench": "rodinia/hotspot"})
-	var all sweepResponse
+	var all struct {
+		Results []gpa.Result `json:"results"`
+	}
 	if err := json.Unmarshal(body2, &all); err != nil {
 		t.Fatal(err)
 	}
@@ -337,7 +366,9 @@ func TestSweepEndpoint(t *testing.T) {
 	_, body3 := postJSON(t, ts.URL+"/v1/sweep", map[string]any{
 		"bench": "rodinia/hotspot", "arch": "t4",
 	})
-	var one sweepResponse
+	var one struct {
+		Results []gpa.Result `json:"results"`
+	}
 	if err := json.Unmarshal(body3, &one); err != nil {
 		t.Fatal(err)
 	}
@@ -384,7 +415,11 @@ func TestBadRequests(t *testing.T) {
 		{"no kernel source", map[string]any{}, http.StatusBadRequest},
 		{"two sources", map[string]any{"asm": testKernelSrc, "bench": "rodinia/hotspot"},
 			http.StatusBadRequest},
-		{"bad asm", map[string]any{"asm": "garbage"}, http.StatusBadRequest},
+		{"bench with launch shape", map[string]any{"bench": "rodinia/hotspot", "gridX": 4},
+			http.StatusBadRequest},
+		{"bench with entry", map[string]any{"bench": "rodinia/hotspot", "entry": "k"},
+			http.StatusBadRequest},
+		{"bad asm", map[string]any{"asm": "garbage"}, http.StatusUnprocessableEntity},
 		{"unknown arch", map[string]any{"asm": testKernelSrc, "arch": "sm_999"},
 			http.StatusBadRequest},
 		{"unknown field", map[string]any{"asm": testKernelSrc, "bogus": 1},
@@ -395,11 +430,12 @@ func TestBadRequests(t *testing.T) {
 		if resp.StatusCode != tc.status {
 			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.status, body)
 		}
-		var out map[string]any
+		var out errorBody
 		if err := json.Unmarshal(body, &out); err != nil {
 			t.Errorf("%s: non-JSON error body: %s", tc.name, body)
-		} else if msg, ok := out["error"].(string); !ok || msg == "" {
-			t.Errorf("%s: missing JSON error body: %s", tc.name, body)
+		} else if out.Error.Code == "" || out.Error.Message == "" ||
+			out.SchemaVersion != gpa.ResultSchemaVersion {
+			t.Errorf("%s: malformed error body: %s", tc.name, body)
 		}
 	}
 	// Wrong methods.
@@ -419,12 +455,17 @@ func TestBadRequests(t *testing.T) {
 
 func TestAnalysisErrorIsUnprocessable(t *testing.T) {
 	ts := newTestServer(t)
-	// Assembles fine but the entry does not exist at launch time.
+	// Assembles fine but the entry does not exist at launch time: a
+	// bad_kernel, not a malformed request.
 	resp, body := postJSON(t, ts.URL+"/v1/advise", map[string]any{
 		"asm": testKernelSrc, "entry": "missing",
 	})
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("status %d for missing entry: %s", resp.StatusCode, body)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("status %d for missing entry, want 422: %s", resp.StatusCode, body)
+	}
+	var out errorBody
+	if err := json.Unmarshal(body, &out); err != nil || out.Error.Code != "bad_kernel" {
+		t.Errorf("missing entry error code = %q, want bad_kernel (%s)", out.Error.Code, body)
 	}
 }
 
@@ -444,7 +485,7 @@ func TestBinaryRoundTrip(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
-	var bin kernelResponse
+	var bin gpa.Result
 	if err := json.Unmarshal(body, &bin); err != nil {
 		t.Fatal(err)
 	}
@@ -453,7 +494,7 @@ func TestBinaryRoundTrip(t *testing.T) {
 	_, body2 := postJSON(t, ts.URL+"/v1/advise", map[string]any{
 		"asm": testKernelSrc, "gridX": 160, "blockX": 256, "seed": 9,
 	})
-	var asm kernelResponse
+	var asm gpa.Result
 	if err := json.Unmarshal(body2, &asm); err != nil {
 		t.Fatal(err)
 	}
@@ -464,7 +505,7 @@ func TestBinaryRoundTrip(t *testing.T) {
 	if !asm.Cached {
 		t.Error("asm upload after identical binary upload must hit the cache")
 	}
-	if asm.Report != bin.Report {
+	if asm.ReportText != bin.ReportText {
 		t.Error("asm and binary reports differ")
 	}
 }

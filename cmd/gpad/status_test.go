@@ -1,0 +1,131 @@
+package main
+
+// The v2 error contract: one HTTP status + stable code per typed
+// sentinel (the classify table), pinned both as a unit table and
+// end-to-end through the HTTP surface.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"gpa"
+	"gpa/internal/apierr"
+)
+
+func TestErrorTaxonomyStatusTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		err    error
+		status int
+		code   string
+	}{
+		{"canceled", apierr.Canceled(context.Canceled), statusClientClosed, "canceled"},
+		{"deadline expired", apierr.Canceled(context.DeadlineExceeded),
+			http.StatusGatewayTimeout, "deadline_exceeded"},
+		{"queue full", fmt.Errorf("service: %w (capacity 4)", gpa.ErrQueueFull),
+			http.StatusServiceUnavailable, "queue_full"},
+		{"shutting down", fmt.Errorf("service: %w", gpa.ErrShuttingDown),
+			http.StatusServiceUnavailable, "shutting_down"},
+		{"unknown arch", fmt.Errorf("arch: %w: %q", gpa.ErrUnknownArch, "sm_999"),
+			http.StatusBadRequest, "unknown_arch"},
+		{"assemble failed", fmt.Errorf("gpa: %w: line 3: bad opcode", gpa.ErrAssemble),
+			http.StatusUnprocessableEntity, "assemble_failed"},
+		{"bad kernel", fmt.Errorf("gpa: %w: empty grid", gpa.ErrBadKernel),
+			http.StatusUnprocessableEntity, "bad_kernel"},
+		{"sim limit", fmt.Errorf("gpusim: %w: SM 0 exceeded 50000000 cycles", gpa.ErrSimLimit),
+			http.StatusUnprocessableEntity, "sim_limit"},
+		{"untyped", errors.New("disk on fire"), http.StatusInternalServerError, "internal"},
+	}
+	for _, tc := range cases {
+		status, code := classify(tc.err)
+		if status != tc.status || code != tc.code {
+			t.Errorf("%s: classify = (%d, %q), want (%d, %q)",
+				tc.name, status, code, tc.status, tc.code)
+		}
+	}
+}
+
+func TestDeadlineExceededMapsTo504(t *testing.T) {
+	ts := newTestServer(t)
+	// A fresh seed forces a real simulation; simSMs 4 with per-cycle
+	// sampling makes it long enough (tens of ms) that the deadline
+	// timer is always observed, even on a single-CPU runner where a
+	// very short CPU-bound run can finish before timers are serviced.
+	resp, body := postJSON(t, ts.URL+"/v1/advise", map[string]any{
+		"bench": "rodinia/hotspot", "seed": 987654, "timeoutMs": 2,
+		"simSMs": 4, "samplePeriod": 1,
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504: %s", resp.StatusCode, body)
+	}
+	var out errorBody
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Error.Code != "deadline_exceeded" || out.SchemaVersion != gpa.ResultSchemaVersion {
+		t.Errorf("error body = %+v", out)
+	}
+}
+
+func TestQueueFullMapsTo503(t *testing.T) {
+	// One worker and no queue: while a job holds the only admission
+	// slot, an HTTP request is shed deterministically.
+	eng := gpa.NewEngine(&gpa.EngineOptions{Workers: 1, MaxQueue: -1})
+	ts := httptest.NewServer(newServer(eng))
+	t.Cleanup(ts.Close)
+
+	// Occupy the slot straight through the engine (the test owns it)
+	// with a simulation long enough (hundreds of ms) that the HTTP
+	// request below always lands while it is running.
+	k, err := gpa.LoadKernelAsm(testKernelSrc, gpa.Launch{
+		Entry: "vecscale", GridX: 160, BlockX: 256, RegsPerThread: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := k.BindWorkload(&gpa.WorkloadSpec{
+		Trips: map[gpa.Site]gpa.TripFunc{
+			{Func: "vecscale", Label: "BR0"}: gpa.UniformTrips(50_000),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := gpa.Job{
+		Kind: gpa.JobMeasure, Kernel: k,
+		Options:     &gpa.Options{Workload: wl, Seed: 424242, SimSMs: 1},
+		WorkloadKey: "hog",
+	}
+	hogCtx, stopHog := context.WithCancel(context.Background())
+	defer stopHog()
+	hogDone := make(chan gpa.JobResult, 1)
+	go func() { hogDone <- eng.Do(hogCtx, job) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for eng.Stats().Inflight == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/advise",
+		map[string]any{"bench": "rodinia/hotspot", "seed": 777})
+	stopHog()
+	<-hogDone
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After header")
+	}
+	var out errorBody
+	if err := json.Unmarshal(body, &out); err != nil || out.Error.Code != "queue_full" {
+		t.Errorf("503 body code = %q (%s)", out.Error.Code, body)
+	}
+	if st := eng.Stats(); st.Shed != 1 {
+		t.Errorf("stats.Shed = %d, want 1 (%+v)", st.Shed, st)
+	}
+}

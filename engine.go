@@ -1,7 +1,9 @@
 package gpa
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"gpa/internal/arch"
 	"gpa/internal/profiler"
@@ -15,6 +17,16 @@ import (
 // traffic through one, cmd/gpa-bench routes Table 3 sweeps through
 // one, and library callers batch through AdviseAll/DoAll — so a
 // machine-wide simulation budget is enforced in exactly one place.
+//
+// Every method takes a context.Context and honors cancellation
+// end-to-end: a caller abandoning a queued job detaches before a
+// worker slot is spent, a caller abandoning a coalesced job detaches
+// without killing the shared simulation (the remaining waiters still
+// get the result), and an in-flight simulation is canceled when its
+// last waiter detaches. Per-job deadlines come from Job.Timeout or
+// EngineOptions.DefaultTimeout, and EngineOptions.MaxQueue turns the
+// engine into a load-shedding server that fails fast with ErrQueueFull
+// instead of queueing without bound.
 //
 // The cache key is a digest of the kernel's canonical module bytes,
 // launch configuration, architecture model, and every result-affecting
@@ -33,6 +45,14 @@ type EngineOptions struct {
 	// CacheEntries bounds the LRU result cache (0 = 512, negative
 	// disables caching; identical in-flight jobs still coalesce).
 	CacheEntries int
+	// MaxQueue bounds how many jobs may wait for a worker slot beyond
+	// the Workers already running; excess jobs fail fast with
+	// ErrQueueFull (0 = unbounded, negative = no queue at all).
+	MaxQueue int
+	// DefaultTimeout is the per-job deadline applied to every job whose
+	// own Timeout is zero (0 = none). Deadline expiry returns an error
+	// wrapping both ErrCanceled and context.DeadlineExceeded.
+	DefaultTimeout time.Duration
 }
 
 // EngineStats is a snapshot of the engine's cache and scheduling
@@ -46,8 +66,10 @@ func NewEngine(opts *EngineOptions) *Engine {
 		o = *opts
 	}
 	return &Engine{svc: service.New(service.Options{
-		Workers:      o.Workers,
-		CacheEntries: o.CacheEntries,
+		Workers:        o.Workers,
+		CacheEntries:   o.CacheEntries,
+		MaxQueue:       o.MaxQueue,
+		DefaultTimeout: o.DefaultTimeout,
 	})}
 }
 
@@ -73,6 +95,10 @@ type Job struct {
 	// GOMAXPROCS-wide SM pool under every worker would oversubscribe
 	// the machine. Parallelism never affects results either way.
 	Options *Options
+	// Timeout is this job's deadline, measured from admission (0 = the
+	// engine's DefaultTimeout; negative = none even when a default is
+	// set). Never affects a completed result.
+	Timeout time.Duration
 	// WorkloadKey names Options.Workload stably for caching: workloads
 	// are opaque callbacks, so a job carrying one without a key bypasses
 	// the cache (it still runs, bounded by the worker pool). Reusing a
@@ -92,6 +118,10 @@ type JobResult struct {
 	ProfileDigest string
 	// Cycles is the simulated kernel duration (all kinds).
 	Cycles int64
+	// ElapsedMS is the wall-clock cost in milliseconds of the pipeline
+	// run that produced the result; cache hits report the original
+	// run's cost (the time the cache avoided).
+	ElapsedMS float64
 	// Cached reports whether the result was served without a new
 	// simulation (cache hit or coalesced with an identical in-flight
 	// job).
@@ -99,13 +129,15 @@ type JobResult struct {
 	// Key is the content-addressed cache key ("" when the job was
 	// uncacheable).
 	Key string
+	// Err wraps one of the typed sentinels in errors.go (ErrCanceled,
+	// ErrQueueFull, ErrBadKernel, ...); classify with errors.Is.
 	Err error
 }
 
 // request converts a job to a service request.
 func (j Job) request() (*service.Request, error) {
 	if j.Kernel == nil {
-		return nil, fmt.Errorf("gpa: engine job without kernel")
+		return nil, fmt.Errorf("gpa: %w: engine job without kernel", ErrBadKernel)
 	}
 	// service.Request.normalized owns the engine's option defaults,
 	// including the Parallelism-zero-means-1 rule.
@@ -124,6 +156,7 @@ func (j Job) request() (*service.Request, error) {
 		SimSMs:       o.SimSMs,
 		Seed:         o.Seed,
 		Parallelism:  o.Parallelism,
+		Timeout:      j.Timeout,
 		Blamer:       o.Blamer,
 		Workload:     o.Workload,
 		WorkloadKey:  j.WorkloadKey,
@@ -138,6 +171,7 @@ func resultOf(resp *service.Response, err error) JobResult {
 		Profile:       resp.Profile,
 		ProfileDigest: resp.ProfileDigest,
 		Cycles:        resp.Cycles,
+		ElapsedMS:     resp.ElapsedMS,
 		Cached:        resp.Cached,
 		Key:           resp.Key,
 	}
@@ -147,19 +181,21 @@ func resultOf(resp *service.Response, err error) JobResult {
 	return res
 }
 
-// Do resolves one job through the engine's cache and worker pool.
-func (e *Engine) Do(j Job) JobResult {
+// Do resolves one job through the engine's cache and worker pool. A
+// canceled ctx detaches this caller promptly (see Engine).
+func (e *Engine) Do(ctx context.Context, j Job) JobResult {
 	req, err := j.request()
 	if err != nil {
 		return JobResult{Err: err}
 	}
-	return resultOf(e.svc.Do(req))
+	return resultOf(e.svc.Do(ctx, req))
 }
 
 // DoAll resolves jobs concurrently; the worker pool bounds how many
 // simulate at once and identical jobs coalesce into one simulation.
-// Results are positionally aligned with jobs.
-func (e *Engine) DoAll(jobs []Job) []JobResult {
+// Results are positionally aligned with jobs. A canceled ctx abandons
+// every unfinished job (finished slots keep their results).
+func (e *Engine) DoAll(ctx context.Context, jobs []Job) []JobResult {
 	reqs := make([]*service.Request, len(jobs))
 	results := make([]JobResult, len(jobs))
 	var live []*service.Request
@@ -174,7 +210,7 @@ func (e *Engine) DoAll(jobs []Job) []JobResult {
 		live = append(live, req)
 		liveIdx = append(liveIdx, i)
 	}
-	resps, errs := e.svc.DoAll(live)
+	resps, errs := e.svc.DoAll(ctx, live)
 	for n, i := range liveIdx {
 		results[i] = resultOf(resps[n], errs[n])
 	}
@@ -184,19 +220,19 @@ func (e *Engine) DoAll(jobs []Job) []JobResult {
 // AdviseAll runs the full advise pipeline over every kernel with the
 // same options (the Table 3 fan-out shape). For per-kernel options or
 // workload keys, build Jobs and call DoAll.
-func (e *Engine) AdviseAll(kernels []*Kernel, opts *Options) []JobResult {
+func (e *Engine) AdviseAll(ctx context.Context, kernels []*Kernel, opts *Options) []JobResult {
 	jobs := make([]Job, len(kernels))
 	for i, k := range kernels {
 		jobs[i] = Job{Kind: JobAdvise, Kernel: k, Options: opts}
 	}
-	return e.DoAll(jobs)
+	return e.DoAll(ctx, jobs)
 }
 
 // Sweep runs the job template once per listed architecture model
 // concurrently, overriding Options.GPU per run (nil or empty gpus =
 // every registered model, in registry order). Results are positionally
 // aligned with the returned model list.
-func (e *Engine) Sweep(j Job, gpus []*arch.GPU) ([]*arch.GPU, []JobResult) {
+func (e *Engine) Sweep(ctx context.Context, j Job, gpus []*arch.GPU) ([]*arch.GPU, []JobResult) {
 	if len(gpus) == 0 {
 		gpus = arch.All()
 	}
@@ -210,8 +246,14 @@ func (e *Engine) Sweep(j Job, gpus []*arch.GPU) ([]*arch.GPU, []JobResult) {
 		jg.Options = &o
 		jobs[i] = jg
 	}
-	return gpus, e.DoAll(jobs)
+	return gpus, e.DoAll(ctx, jobs)
 }
+
+// Shutdown drains the engine: new jobs are rejected with
+// ErrShuttingDown, queued jobs are abandoned immediately, and
+// in-flight simulations get until ctx's deadline before being
+// canceled. A nil error means every in-flight job finished.
+func (e *Engine) Shutdown(ctx context.Context) error { return e.svc.Shutdown(ctx) }
 
 // Stats snapshots the engine's hit/miss/coalesce/run counters.
 func (e *Engine) Stats() EngineStats { return e.svc.Stats() }

@@ -1,6 +1,7 @@
 package gpa_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -10,12 +11,12 @@ import (
 
 func TestEngineAdviseMatchesDirectAPI(t *testing.T) {
 	k, opts := apiKernel(t)
-	direct, err := k.Advise(opts)
+	direct, err := k.Advise(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	eng := gpa.NewEngine(nil)
-	res := eng.Do(gpa.Job{Kind: gpa.JobAdvise, Kernel: k, Options: opts, WorkloadKey: "api"})
+	res := eng.Do(context.Background(), gpa.Job{Kind: gpa.JobAdvise, Kernel: k, Options: opts, WorkloadKey: "api"})
 	if res.Err != nil {
 		t.Fatal(res.Err)
 	}
@@ -25,7 +26,7 @@ func TestEngineAdviseMatchesDirectAPI(t *testing.T) {
 	if res.Cached {
 		t.Error("first engine run must not be cached")
 	}
-	warm := eng.Do(gpa.Job{Kind: gpa.JobAdvise, Kernel: k, Options: opts, WorkloadKey: "api"})
+	warm := eng.Do(context.Background(), gpa.Job{Kind: gpa.JobAdvise, Kernel: k, Options: opts, WorkloadKey: "api"})
 	if warm.Err != nil {
 		t.Fatal(warm.Err)
 	}
@@ -40,7 +41,7 @@ func TestEngineAdviseMatchesDirectAPI(t *testing.T) {
 func TestEngineMeasureAndProfile(t *testing.T) {
 	k, opts := apiKernel(t)
 	eng := gpa.NewEngine(nil)
-	res := eng.DoAll([]gpa.Job{
+	res := eng.DoAll(context.Background(), []gpa.Job{
 		{Kind: gpa.JobMeasure, Kernel: k, Options: opts, WorkloadKey: "api"},
 		{Kind: gpa.JobProfile, Kernel: k, Options: opts, WorkloadKey: "api"},
 	})
@@ -49,14 +50,14 @@ func TestEngineMeasureAndProfile(t *testing.T) {
 			t.Fatalf("job %d: %v", i, r.Err)
 		}
 	}
-	cycles, err := k.Measure(opts)
+	cycles, err := k.Measure(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res[0].Cycles != cycles {
 		t.Errorf("engine measure %d cycles, direct %d", res[0].Cycles, cycles)
 	}
-	prof, err := k.Profile(opts)
+	prof, err := k.Profile(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestEngineMeasureAndProfile(t *testing.T) {
 func TestEngineWorkloadWithoutKeyBypasses(t *testing.T) {
 	k, opts := apiKernel(t) // opts carries a workload
 	eng := gpa.NewEngine(nil)
-	res := eng.Do(gpa.Job{Kind: gpa.JobMeasure, Kernel: k, Options: opts})
+	res := eng.Do(context.Background(), gpa.Job{Kind: gpa.JobMeasure, Kernel: k, Options: opts})
 	if res.Err != nil {
 		t.Fatal(res.Err)
 	}
@@ -88,7 +89,7 @@ func TestEngineWorkloadWithoutKeyBypasses(t *testing.T) {
 func TestEngineSweep(t *testing.T) {
 	k, opts := apiKernel(t)
 	eng := gpa.NewEngine(nil)
-	gpus, res := eng.Sweep(gpa.Job{Kind: gpa.JobAdvise, Kernel: k, Options: opts,
+	gpus, res := eng.Sweep(context.Background(), gpa.Job{Kind: gpa.JobAdvise, Kernel: k, Options: opts,
 		WorkloadKey: "api"}, nil)
 	if len(gpus) != len(gpa.GPUs()) || len(res) != len(gpus) {
 		t.Fatalf("sweep covered %d archs, want %d", len(res), len(gpa.GPUs()))
@@ -123,7 +124,7 @@ func TestEngineTable3CacheByteIdentical(t *testing.T) {
 			t.Fatal(err)
 		}
 		opts := &gpa.Options{Workload: wl, Seed: 11, SimSMs: 1, Parallelism: 1}
-		cold, err := k.Advise(opts)
+		cold, err := k.Advise(context.Background(), opts)
 		if err != nil {
 			t.Fatalf("%s: %v", b.ID(), err)
 		}
@@ -141,7 +142,7 @@ func TestEngineTable3CacheByteIdentical(t *testing.T) {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				res[i] = eng.Do(job)
+				res[i] = eng.Do(context.Background(), job)
 			}(i)
 		}
 		wg.Wait()
@@ -159,7 +160,7 @@ func TestEngineTable3CacheByteIdentical(t *testing.T) {
 			}
 		}
 		// ...and a later cache hit is still byte-identical.
-		hit := eng.Do(job)
+		hit := eng.Do(context.Background(), job)
 		if hit.Err != nil {
 			t.Fatal(hit.Err)
 		}
@@ -176,11 +177,11 @@ func TestRunOptionsEngineMatchesSequential(t *testing.T) {
 	rows := kernels.All()[:3]
 	eng := gpa.NewEngine(nil)
 	for _, b := range rows {
-		seq, err := b.Run(kernels.RunOptions{Seed: 11})
+		seq, err := b.Run(context.Background(), kernels.RunOptions{Seed: 11})
 		if err != nil {
 			t.Fatal(err)
 		}
-		routed, err := b.Run(kernels.RunOptions{Seed: 11, Engine: eng})
+		routed, err := b.Run(context.Background(), kernels.RunOptions{Seed: 11, Engine: eng})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -198,7 +199,7 @@ func TestRunOptionsEngineMatchesSequential(t *testing.T) {
 	// Re-running the same rows through the same engine is pure cache.
 	before := eng.Stats().Runs
 	for _, b := range rows {
-		if _, err := b.Run(kernels.RunOptions{Seed: 11, Engine: eng}); err != nil {
+		if _, err := b.Run(context.Background(), kernels.RunOptions{Seed: 11, Engine: eng}); err != nil {
 			t.Fatal(err)
 		}
 	}

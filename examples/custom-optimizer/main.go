@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -93,7 +94,7 @@ func main() {
 	}
 	// Register the custom optimizer alongside the default Table 2 set;
 	// stall-elimination speedups use Equation 2 of the paper.
-	report, err := kernel.Advise(
+	report, err := kernel.Advise(context.Background(),
 		&gpa.Options{Workload: wl, Seed: 5, SimSMs: 1, Blamer: blamer.Options{}},
 		advisor.RankedOptimizer{Optimizer: atomicContention{}, Estimator: advisor.StallElimination{}},
 	)

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -47,13 +48,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		report, err := baseKernel.Advise(&gpa.Options{Workload: baseWL, Seed: 11, SimSMs: 1})
+		report, err := baseKernel.Advise(context.Background(), &gpa.Options{Workload: baseWL, Seed: 11, SimSMs: 1})
 		if err != nil {
 			log.Fatal(err)
 		}
 		report.Render(os.Stdout)
 
-		out, err := bench.Run(kernels.RunOptions{Seed: 11})
+		out, err := bench.Run(context.Background(), kernels.RunOptions{Seed: 11})
 		if err != nil {
 			log.Fatal(err)
 		}

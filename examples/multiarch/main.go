@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -61,7 +62,7 @@ func main() {
 	fmt.Printf("%-6s %-18s %6s %6s %10s  %s\n",
 		"ARCH", "MODEL", "W/SCHED", "LIMIT", "CYCLES", "TOP ADVICE (estimated)")
 	for _, g := range gpa.GPUs() {
-		report, err := kernel.Advise(&gpa.Options{
+		report, err := kernel.Advise(context.Background(), &gpa.Options{
 			GPU: g, Workload: wl, Seed: 7, SimSMs: 1,
 		})
 		if err != nil {

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -54,11 +55,11 @@ func run(blockThreads, gridBlocks int) (int64, *gpa.Report, error) {
 		return 0, nil, err
 	}
 	opts := &gpa.Options{Workload: wl, Seed: 3, SimSMs: 1}
-	cycles, err := kernel.Measure(opts)
+	cycles, err := kernel.Measure(context.Background(), opts)
 	if err != nil {
 		return 0, nil, err
 	}
-	report, err := kernel.Advise(opts)
+	report, err := kernel.Advise(context.Background(), opts)
 	return cycles, report, err
 }
 
@@ -96,4 +97,3 @@ func main() {
 	fmt.Printf("\nachieved %.2fx vs estimated %.2fx (error %.0f%%)\n",
 		achieved, estimated, 100*math.Abs(estimated-achieved)/achieved)
 }
-

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -63,7 +64,7 @@ func main() {
 	}
 
 	// 3. Profile (simulate with PC sampling) and advise in one step.
-	report, err := kernel.Advise(&gpa.Options{Workload: workload, Seed: 7})
+	report, err := kernel.Advise(context.Background(), &gpa.Options{Workload: workload, Seed: 7})
 	if err != nil {
 		log.Fatal(err)
 	}

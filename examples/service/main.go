@@ -16,6 +16,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -96,7 +97,7 @@ func runInProcess() error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = eng.Do(job)
+			results[i] = eng.Do(context.Background(), job)
 		}(i)
 	}
 	wg.Wait()
@@ -110,7 +111,7 @@ func runInProcess() error {
 
 	// Phase 2: a repeat is a pure cache hit, byte-identical by the
 	// determinism contract.
-	repeat := eng.Do(job)
+	repeat := eng.Do(context.Background(), job)
 	if repeat.Err != nil {
 		return repeat.Err
 	}
@@ -118,7 +119,7 @@ func runInProcess() error {
 		repeat.Cached, repeat.Report.String() == results[0].Report.String())
 
 	// Phase 3: sweep the kernel across every registered architecture.
-	gpus, sweep := eng.Sweep(job, nil)
+	gpus, sweep := eng.Sweep(context.Background(), job, nil)
 	fmt.Println("\nsweep across registered architectures:")
 	for i, r := range sweep {
 		if r.Err != nil {

@@ -18,13 +18,23 @@
 //	   ▼
 //	ranked advice report (Figure 8 format)
 //
-// # Quick start
+// # Quick start (v2 API)
 //
 //	kernel, err := gpa.LoadKernelAsm(src, gpa.Launch{
 //		Entry: "mykernel", GridX: 160, BlockX: 256,
 //	})
-//	report, err := kernel.Advise(nil)
+//	report, err := kernel.Advise(ctx, nil)
 //	fmt.Print(report)
+//
+// Every operation that can simulate takes a context.Context as its
+// first argument and honors cancellation promptly: a canceled ctx
+// returns an error wrapping both ErrCanceled and ctx.Err() within one
+// simulator checkpoint interval, and cancellation never alters the
+// result of a run that completes. Failures across the whole API wrap
+// the typed sentinels in errors.go (ErrUnknownArch, ErrBadKernel,
+// ErrAssemble, ErrCanceled, ErrQueueFull, ...), matched with
+// errors.Is/As. Report.Result produces the versioned structured result
+// (schema gpa.ResultSchemaVersion) that cmd/gpad serves as JSON.
 //
 // The package wraps the internal building blocks (sass assembler, cubin
 // container, cycle-level gpusim simulator, sampling, profiler, blamer,
@@ -38,11 +48,13 @@
 package gpa
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
 	"sync"
 
+	"gpa/internal/apierr"
 	"gpa/internal/arch"
 	"gpa/internal/blamer"
 	"gpa/internal/cubin"
@@ -143,33 +155,36 @@ func (k *Kernel) program() (*gpusim.Program, error) {
 	return k.prog, k.progErr
 }
 
-// LoadKernelAsm assembles SASS text into a kernel.
+// LoadKernelAsm assembles SASS text into a kernel. Assembly failures
+// wrap ErrAssemble; launch validation failures wrap ErrBadKernel.
 func LoadKernelAsm(src string, launch Launch) (*Kernel, error) {
 	mod, err := sass.Assemble(src)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("gpa: %w: %w", ErrAssemble, err)
 	}
 	if launch.Entry == "" {
 		ks := mod.Kernels()
 		if len(ks) != 1 {
-			return nil, fmt.Errorf("gpa: specify Launch.Entry (module has %d kernels)", len(ks))
+			return nil, fmt.Errorf("gpa: %w: specify Launch.Entry (module has %d kernels)",
+				ErrBadKernel, len(ks))
 		}
 		launch.Entry = ks[0].Name
 	}
 	if mod.Function(launch.Entry) == nil {
-		return nil, fmt.Errorf("gpa: no kernel %q in module", launch.Entry)
+		return nil, fmt.Errorf("gpa: %w: no kernel %q in module", ErrBadKernel, launch.Entry)
 	}
 	return &Kernel{Module: mod, Launch: launch}, nil
 }
 
 // LoadKernelBinary unpacks a CUBIN blob produced by SaveBinary.
+// Malformed blobs and launch validation failures wrap ErrBadKernel.
 func LoadKernelBinary(blob []byte, launch Launch) (*Kernel, error) {
 	mod, err := cubin.Unpack(blob)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("gpa: %w: %w", ErrBadKernel, err)
 	}
 	if mod.Function(launch.Entry) == nil {
-		return nil, fmt.Errorf("gpa: no kernel %q in module", launch.Entry)
+		return nil, fmt.Errorf("gpa: %w: no kernel %q in module", ErrBadKernel, launch.Entry)
 	}
 	return &Kernel{Module: mod, Launch: launch}, nil
 }
@@ -186,14 +201,16 @@ func (k *Kernel) BindWorkload(spec *WorkloadSpec) (Workload, error) {
 	return spec.Bind(prog)
 }
 
-// Profile simulates one launch with PC sampling and returns the profile.
-func (k *Kernel) Profile(opts *Options) (*profiler.Profile, error) {
+// Profile simulates one launch with PC sampling and returns the
+// profile. A canceled ctx aborts the simulation promptly with an error
+// wrapping ErrCanceled.
+func (k *Kernel) Profile(ctx context.Context, opts *Options) (*profiler.Profile, error) {
 	o := normalize(opts)
 	prog, err := k.program()
 	if err != nil {
 		return nil, err
 	}
-	return profiler.CollectProgram(prog, k.Launch.config(), o.Workload, profiler.Options{
+	return profiler.CollectProgram(ctx, prog, k.Launch.config(), o.Workload, profiler.Options{
 		GPU:          o.GPU,
 		SamplePeriod: o.SamplePeriod,
 		SimSMs:       o.SimSMs,
@@ -203,15 +220,17 @@ func (k *Kernel) Profile(opts *Options) (*profiler.Profile, error) {
 }
 
 // Measure simulates one launch without sampling and returns the kernel
-// duration in cycles (used to measure achieved speedups).
-func (k *Kernel) Measure(opts *Options) (int64, error) {
+// duration in cycles (used to measure achieved speedups). A canceled
+// ctx aborts the simulation promptly with an error wrapping
+// ErrCanceled.
+func (k *Kernel) Measure(ctx context.Context, opts *Options) (int64, error) {
 	o := normalize(opts)
 	prog, err := k.program()
 	if err != nil {
 		return 0, err
 	}
 	wl := o.Workload
-	res, err := gpusim.Run(prog, k.Launch.config(), wl, gpusim.Config{
+	res, err := gpusim.Run(ctx, prog, k.Launch.config(), wl, gpusim.Config{
 		GPU:         o.GPU,
 		SimSMs:      o.SimSMs,
 		Seed:        o.Seed,
@@ -244,21 +263,31 @@ func (r *Report) Render(w io.Writer) { r.Advice.Render(w) }
 func (r *Report) Top(n int) []adv.AdviceEntry { return r.Advice.Top(n) }
 
 // Advise profiles the kernel and runs the full dynamic analysis:
-// instruction blaming, optimizer matching, speedup estimation, ranking.
-func (k *Kernel) Advise(opts *Options, extra ...adv.RankedOptimizer) (*Report, error) {
-	prof, err := k.Profile(opts)
+// instruction blaming, optimizer matching, speedup estimation,
+// ranking. A canceled ctx aborts the simulation promptly with an error
+// wrapping ErrCanceled.
+func (k *Kernel) Advise(ctx context.Context, opts *Options, extra ...adv.RankedOptimizer) (*Report, error) {
+	prof, err := k.Profile(ctx, opts)
 	if err != nil {
 		return nil, err
 	}
-	return k.AdviseFromProfile(prof, opts, extra...)
+	return k.AdviseFromProfile(ctx, prof, opts, extra...)
 }
 
 // AdviseFromProfile analyses an existing profile (the offline half of
 // the pipeline). When the caller does not select an architecture, the
 // model recorded in the profile wins, so a profile collected on a T4 is
-// not silently analyzed with V100 limits.
-func (k *Kernel) AdviseFromProfile(prof *profiler.Profile, opts *Options,
+// not silently analyzed with V100 limits. The offline analysis is
+// cheap but still checks ctx before starting, so a batch of canceled
+// jobs drains immediately.
+func (k *Kernel) AdviseFromProfile(ctx context.Context, prof *profiler.Profile, opts *Options,
 	extra ...adv.RankedOptimizer) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := apierr.CtxErr(ctx); err != nil {
+		return nil, fmt.Errorf("gpa: %w", err)
+	}
 	o := normalize(opts)
 	if (opts == nil || opts.GPU == nil) && prof.GPU != "" {
 		g, err := arch.Lookup(prof.GPU)
@@ -267,14 +296,14 @@ func (k *Kernel) AdviseFromProfile(prof *profiler.Profile, opts *Options,
 		}
 		o.GPU = g
 	}
-	ctx, err := adv.BuildContext(k.Module, prof, o.GPU, o.Blamer)
+	actx, err := adv.BuildContext(k.Module, prof, o.GPU, o.Blamer)
 	if err != nil {
 		return nil, err
 	}
 	ros := adv.DefaultOptimizers()
 	ros = append(ros, extra...)
-	advice := adv.Advise(ctx, ros...)
-	return &Report{Advice: advice, Profile: prof, Context: ctx}, nil
+	advice := adv.Advise(actx, ros...)
+	return &Report{Advice: advice, Profile: prof, Context: actx}, nil
 }
 
 // Structure returns the kernel's recovered program structure (functions,

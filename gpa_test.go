@@ -1,6 +1,7 @@
 package gpa_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -65,14 +66,14 @@ func TestLoadKernelAsmAutoEntry(t *testing.T) {
 
 func TestMeasureAndAdvise(t *testing.T) {
 	k, opts := apiKernel(t)
-	cycles, err := k.Measure(opts)
+	cycles, err := k.Measure(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cycles <= 0 {
 		t.Fatal("no cycles")
 	}
-	report, err := k.Advise(opts)
+	report, err := k.Advise(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestBinaryRoundTripThroughAPI(t *testing.T) {
 	// plain Measure with default workload must still run.
 	noWL := *opts
 	noWL.Workload = nil
-	cycles, err := k2.Measure(&noWL)
+	cycles, err := k2.Measure(context.Background(), &noWL)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,14 +121,14 @@ func TestBinaryRoundTripThroughAPI(t *testing.T) {
 
 func TestProfileThenOfflineAdvise(t *testing.T) {
 	k, opts := apiKernel(t)
-	prof, err := k.Profile(opts)
+	prof, err := k.Profile(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if prof.TotalSamples == 0 || prof.Cycles == 0 {
 		t.Fatalf("empty profile: %+v", prof)
 	}
-	report, err := k.AdviseFromProfile(prof, opts)
+	report, err := k.AdviseFromProfile(context.Background(), prof, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package advisor
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -142,7 +143,7 @@ func buildTestContext(t *testing.T, src, entry string, launch gpusim.LaunchConfi
 			t.Fatal(err)
 		}
 	}
-	prof, err := profiler.Collect(mod, launch, wl, profiler.Options{
+	prof, err := profiler.Collect(context.Background(), mod, launch, wl, profiler.Options{
 		GPU: arch.VoltaV100(), SimSMs: 1, Seed: 3,
 	})
 	if err != nil {

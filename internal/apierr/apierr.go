@@ -1,0 +1,83 @@
+// Package apierr defines the typed error taxonomy of the public gpa
+// API. Every error that crosses the API boundary wraps exactly one of
+// these sentinels, so callers branch with errors.Is instead of string
+// matching and cmd/gpad maps failures to HTTP status codes from the
+// same table. The sentinels live in this leaf package (imported by
+// arch, sass, gpusim, service, and the root gpa package alike) so the
+// internal pipeline can tag errors at the point of failure without
+// importing the public API; the root package re-exports them as
+// gpa.ErrUnknownArch and friends.
+package apierr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+var (
+	// ErrUnknownArch tags failures to resolve a GPU architecture model
+	// (an unregistered name, alias, or CUBIN SM flag).
+	ErrUnknownArch = errors.New("unknown architecture")
+	// ErrBadKernel tags invalid kernels and launches: a missing entry
+	// function, a malformed CUBIN container, an empty grid, or a launch
+	// shape no SM configuration can host.
+	ErrBadKernel = errors.New("bad kernel")
+	// ErrAssemble tags SASS assembly failures (syntax errors, unknown
+	// opcodes, undefined labels).
+	ErrAssemble = errors.New("assembly failed")
+	// ErrCanceled tags operations abandoned because their context was
+	// canceled or its deadline expired. The wrapped chain retains the
+	// original ctx.Err(), so errors.Is also matches context.Canceled or
+	// context.DeadlineExceeded as appropriate.
+	ErrCanceled = errors.New("operation canceled")
+	// ErrQueueFull tags requests the serving engine rejected because its
+	// admission queue was at capacity (load shedding; retry later).
+	ErrQueueFull = errors.New("queue full")
+	// ErrShuttingDown tags requests rejected because the engine is
+	// draining for shutdown.
+	ErrShuttingDown = errors.New("shutting down")
+	// ErrSimLimit tags simulations aborted by the runaway-cycle bound
+	// (Config.MaxCycles), usually a livelocked kernel.
+	ErrSimLimit = errors.New("simulation limit exceeded")
+)
+
+// CanceledError is the concrete type cancellation errors carry:
+// errors.Is matches ErrCanceled and (through Cause) the original
+// context error, and errors.As exposes the cause directly.
+type CanceledError struct {
+	// Cause is the context error that triggered the cancellation
+	// (context.Canceled or context.DeadlineExceeded).
+	Cause error
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("%v: %v", ErrCanceled, e.Cause)
+}
+
+// Is makes errors.Is(err, ErrCanceled) match without losing the cause.
+func (e *CanceledError) Is(target error) bool { return target == ErrCanceled }
+
+// Unwrap exposes the original context error to errors.Is.
+func (e *CanceledError) Unwrap() error { return e.Cause }
+
+// Canceled wraps cause (normally a ctx.Err()) so the result matches
+// both ErrCanceled and the original context error under errors.Is,
+// and surfaces the cause via errors.As on *CanceledError. A nil cause
+// yields the bare sentinel.
+func Canceled(cause error) error {
+	if cause == nil {
+		return ErrCanceled
+	}
+	return &CanceledError{Cause: cause}
+}
+
+// CtxErr returns nil while ctx is live, and the context's error
+// wrapped in ErrCanceled once it is done. It is the cancel checkpoint
+// every cancelable stage polls.
+func CtxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return Canceled(err)
+	}
+	return nil
+}

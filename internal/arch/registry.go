@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"gpa/internal/apierr"
 )
 
 // Model is one registry entry: a GPU constructor keyed by a short
@@ -99,7 +101,8 @@ func Lookup(name string) (*GPU, error) {
 	regMu.RLock()
 	defer regMu.RUnlock()
 	if want == "" {
-		return nil, fmt.Errorf("arch: empty architecture name (known: %s)", knownNames())
+		return nil, fmt.Errorf("arch: %w: empty architecture name (known: %s)",
+			apierr.ErrUnknownArch, knownNames())
 	}
 	for _, e := range registry {
 		if normalize(e.Key) == want {
@@ -114,7 +117,7 @@ func Lookup(name string) (*GPU, error) {
 			return g, nil
 		}
 	}
-	return nil, fmt.Errorf("arch: unknown architecture %q (known: %s)", name, knownNames())
+	return nil, fmt.Errorf("arch: %w: %q (known: %s)", apierr.ErrUnknownArch, name, knownNames())
 }
 
 // All returns a fresh GPU value for every registered model, ordered by
@@ -194,5 +197,5 @@ func ByArchFlag(sm int) (*GPU, error) {
 			}
 		}
 	}
-	return nil, fmt.Errorf("arch: unsupported architecture sm_%d", sm)
+	return nil, fmt.Errorf("arch: %w: unsupported flag sm_%d", apierr.ErrUnknownArch, sm)
 }

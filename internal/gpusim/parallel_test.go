@@ -1,6 +1,7 @@
 package gpusim
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -63,7 +64,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 				sink := &captureSink{}
 				g := arch.VoltaV100()
 				g.NumSMs = 4 // spread blocks over all simulated SMs
-				res, err := Run(p, tc.launch, wl, Config{
+				res, err := Run(context.Background(), p, tc.launch, wl, Config{
 					GPU: g, SimSMs: 4, SamplePeriod: 32, Sink: sink,
 					Seed: 7, Parallelism: parallelism,
 				})
@@ -113,7 +114,7 @@ BR0:	BRA LOOP {S:5}
 	run := func(parallelism int) error {
 		g := arch.VoltaV100()
 		g.NumSMs = 4
-		_, err := Run(p, launch, NopWorkload{}, Config{
+		_, err := Run(context.Background(), p, launch, NopWorkload{}, Config{
 			GPU: g, SimSMs: 4, MaxCycles: 10_000, Seed: 1, Parallelism: parallelism,
 		})
 		return err

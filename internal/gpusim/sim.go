@@ -1,9 +1,11 @@
 package gpusim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
+	"gpa/internal/apierr"
 	"gpa/internal/arch"
 	"gpa/internal/par"
 )
@@ -89,8 +91,16 @@ type Result struct {
 	ThreadsPerBlock int
 }
 
-// Run simulates a kernel launch to completion.
-func Run(p *Program, launch LaunchConfig, wl Workload, cfg Config) (*Result, error) {
+// Run simulates a kernel launch to completion. The context is honored
+// promptly: the run loop polls it at an amortized checkpoint (every
+// cancelCheckInterval loop iterations), so a canceled ctx returns an
+// error wrapping both ErrCanceled and ctx.Err() within one checkpoint
+// interval. Cancellation never alters results: a non-canceled run is
+// byte-identical whether or not a cancelable context was supplied.
+func Run(ctx context.Context, p *Program, launch LaunchConfig, wl Workload, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.GPU == nil {
 		return nil, fmt.Errorf("gpusim: nil GPU config")
 	}
@@ -99,16 +109,19 @@ func Run(p *Program, launch LaunchConfig, wl Workload, cfg Config) (*Result, err
 	}
 	entry, err := p.EntryOf(launch.Entry)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("gpusim: %w: %w", apierr.ErrBadKernel, err)
 	}
 	threads := launch.Block.Count()
 	occ, err := cfg.GPU.ComputeOccupancy(threads, launch.RegsPerThread, launch.SharedMemPerBlock)
 	if err != nil {
-		return nil, fmt.Errorf("gpusim: %w", err)
+		return nil, fmt.Errorf("gpusim: %w: %w", apierr.ErrBadKernel, err)
 	}
 	blocks := launch.Grid.Count()
 	if blocks <= 0 {
-		return nil, fmt.Errorf("gpusim: empty grid")
+		return nil, fmt.Errorf("gpusim: %w: empty grid", apierr.ErrBadKernel)
+	}
+	if err := apierr.CtxErr(ctx); err != nil {
+		return nil, fmt.Errorf("gpusim: %w", err)
 	}
 	activeSMs := cfg.GPU.NumSMs
 	if blocks < activeSMs {
@@ -162,7 +175,7 @@ func Run(p *Program, launch LaunchConfig, wl Workload, cfg Config) (*Result, err
 				continue
 			}
 			sm := newSM(smID, p, rt, wl, cfg, launch, occ, entry, myBlocks, warpsPerBlock, cfg.Sink)
-			cycles, err := sm.run(maxCycles)
+			cycles, err := sm.run(ctx, maxCycles)
 			if err != nil {
 				return nil, err
 			}
@@ -195,7 +208,7 @@ func Run(p *Program, launch LaunchConfig, wl Workload, cfg Config) (*Result, err
 			sink = buf
 		}
 		sm := newSM(smID, p, rt, wl, cfg, launch, occ, entry, myBlocks, warpsPerBlock, sink)
-		out.cycles, out.err = sm.run(maxCycles)
+		out.cycles, out.err = sm.run(ctx, maxCycles)
 		out.issued = sm.issuedPerPC
 		if buf != nil {
 			out.samples = buf.samples

@@ -1,6 +1,7 @@
 package gpusim
 
 import (
+	"context"
 	"testing"
 
 	"gpa/internal/arch"
@@ -71,7 +72,7 @@ func runKernel(t *testing.T, src, entry string, launch LaunchConfig, spec *Spec,
 	} else if cs, ok := cfg.Sink.(*captureSink); ok {
 		sink = cs
 	}
-	res, err := Run(p, launch, wl, cfg)
+	res, err := Run(context.Background(), p, launch, wl, cfg)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -319,7 +320,7 @@ func TestRunErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(p, LaunchConfig{Entry: "nothere", Grid: Dim(1), Block: Dim(32)}, nil, testConfig(nil)); err == nil {
+	if _, err := Run(context.Background(), p, LaunchConfig{Entry: "nothere", Grid: Dim(1), Block: Dim(32)}, nil, testConfig(nil)); err == nil {
 		t.Error("unknown entry must fail")
 	}
 	// Zero dimensions default to 1, as CUDA's dim3 does.
@@ -329,11 +330,11 @@ func TestRunErrors(t *testing.T) {
 	if got := (Dim3{X: 4, Y: 3}).Count(); got != 12 {
 		t.Errorf("Count = %d, want 12", got)
 	}
-	if _, err := Run(p, LaunchConfig{Entry: "membound", Grid: Dim(1), Block: Dim(2048)}, nil, testConfig(nil)); err == nil {
+	if _, err := Run(context.Background(), p, LaunchConfig{Entry: "membound", Grid: Dim(1), Block: Dim(2048)}, nil, testConfig(nil)); err == nil {
 		t.Error("oversized block must fail")
 	}
 	bad := Config{}
-	if _, err := Run(p, LaunchConfig{Entry: "membound", Grid: Dim(1), Block: Dim(32)}, nil, bad); err == nil {
+	if _, err := Run(context.Background(), p, LaunchConfig{Entry: "membound", Grid: Dim(1), Block: Dim(32)}, nil, bad); err == nil {
 		t.Error("nil GPU must fail")
 	}
 }

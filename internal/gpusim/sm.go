@@ -1,9 +1,11 @@
 package gpusim
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
+	"gpa/internal/apierr"
 	"gpa/internal/arch"
 	"gpa/internal/sass"
 )
@@ -607,15 +609,29 @@ func (s *sm) sampleTick(now int64) {
 }
 
 // run drives the SM to completion and returns the final cycle.
-func (s *sm) run(maxCycles int64) (int64, error) {
+// cancelCheckInterval is how many run-loop iterations pass between
+// context polls. Each iteration advances at least one cycle (often
+// many, via the idle fast-forward), so cancellation lands within a
+// bounded, small slice of simulated work while the per-iteration cost
+// stays one counter decrement on the hot path.
+const cancelCheckInterval = 4096
+
+func (s *sm) run(ctx context.Context, maxCycles int64) (int64, error) {
 	now := int64(0)
 	period := int64(s.cfg.SamplePeriod)
 	nextTick := period
 	lastProgress := int64(0)
+	checkIn := cancelCheckInterval
 	for !s.allDone() {
+		if checkIn--; checkIn <= 0 {
+			checkIn = cancelCheckInterval
+			if err := apierr.CtxErr(ctx); err != nil {
+				return 0, fmt.Errorf("gpusim: SM %d: %w", s.id, err)
+			}
+		}
 		if now > maxCycles {
-			return 0, fmt.Errorf("gpusim: SM %d exceeded %d cycles (possible livelock; last progress at %d)",
-				s.id, maxCycles, lastProgress)
+			return 0, fmt.Errorf("gpusim: %w: SM %d exceeded %d cycles (possible livelock; last progress at %d)",
+				apierr.ErrSimLimit, s.id, maxCycles, lastProgress)
 		}
 		if s.minRelease <= now {
 			s.processReleases(now)

@@ -1,6 +1,8 @@
 package kernels
 
 import (
+	"context"
+
 	"gpa/internal/arch"
 	"gpa/internal/blamer"
 
@@ -10,15 +12,15 @@ import (
 // Coverage computes the Figure 7 metric for a benchmark's baseline
 // kernel: single-dependency coverage of the instruction dependency graph
 // before and after pruning cold edges, weighted by each function's
-// stalled-instruction count.
-func Coverage(b *Benchmark, ro RunOptions) (before, after float64, err error) {
+// stalled-instruction count. A canceled ctx aborts the profiling run.
+func Coverage(ctx context.Context, b *Benchmark, ro RunOptions) (before, after float64, err error) {
 	k, wl, err := b.Base.Build()
 	if err != nil {
 		return 0, 0, err
 	}
 	opts := ro.options()
 	opts.Workload = wl
-	prof, err := k.Profile(opts)
+	prof, err := k.Profile(ctx, opts)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -26,12 +28,12 @@ func Coverage(b *Benchmark, ro RunOptions) (before, after float64, err error) {
 	if gpu == nil {
 		gpu = arch.VoltaV100()
 	}
-	ctx, err := adv.BuildContext(k.Module, prof, gpu, blamer.Options{})
+	actx, err := adv.BuildContext(k.Module, prof, gpu, blamer.Options{})
 	if err != nil {
 		return 0, 0, err
 	}
 	var weight, sumB, sumA float64
-	for _, fc := range ctx.Funcs {
+	for _, fc := range actx.Funcs {
 		w := float64(len(fc.Blame.UseNodes)) + 1
 		weight += w
 		sumB += fc.Blame.SingleDependencyCoverage(false) * w

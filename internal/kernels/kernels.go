@@ -31,6 +31,7 @@
 package kernels
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -155,8 +156,10 @@ func (o RunOptions) options() *gpa.Options {
 }
 
 // Run measures the baseline and optimized variants and extracts the
-// advisor's estimate for the expected optimizer.
-func (b *Benchmark) Run(ro RunOptions) (*Outcome, error) {
+// advisor's estimate for the expected optimizer. A canceled ctx aborts
+// whichever of the row's three measurements are still running and
+// returns an error wrapping gpa.ErrCanceled.
+func (b *Benchmark) Run(ctx context.Context, ro RunOptions) (*Outcome, error) {
 	opts := ro.options()
 	baseK, baseWL, err := b.Base.Build()
 	if err != nil {
@@ -180,7 +183,7 @@ func (b *Benchmark) Run(ro RunOptions) (*Outcome, error) {
 		// keys name each variant's Spec binding stably (the Spec is
 		// deterministic per benchmark definition), which is what makes
 		// the jobs cacheable at all.
-		results := ro.Engine.DoAll([]gpa.Job{
+		results := ro.Engine.DoAll(ctx, []gpa.Job{
 			{Kind: gpa.JobMeasure, Kernel: baseK, Options: &baseOpts, WorkloadKey: b.ID() + "/base"},
 			{Kind: gpa.JobMeasure, Kernel: optK, Options: &optOpts, WorkloadKey: b.ID() + "/opt"},
 			{Kind: gpa.JobAdvise, Kernel: baseK, Options: &baseOpts, WorkloadKey: b.ID() + "/base"},
@@ -195,7 +198,7 @@ func (b *Benchmark) Run(ro RunOptions) (*Outcome, error) {
 		return b.outcome(baseCycles, optCycles, report), nil
 	}
 	measureBase := func() error {
-		c, err := baseK.Measure(&baseOpts)
+		c, err := baseK.Measure(ctx, &baseOpts)
 		if err != nil {
 			return fmt.Errorf("%s: base measure: %w", b.ID(), err)
 		}
@@ -203,7 +206,7 @@ func (b *Benchmark) Run(ro RunOptions) (*Outcome, error) {
 		return nil
 	}
 	measureOpt := func() error {
-		c, err := optK.Measure(&optOpts)
+		c, err := optK.Measure(ctx, &optOpts)
 		if err != nil {
 			return fmt.Errorf("%s: opt measure: %w", b.ID(), err)
 		}
@@ -211,7 +214,7 @@ func (b *Benchmark) Run(ro RunOptions) (*Outcome, error) {
 		return nil
 	}
 	advise := func() error {
-		r, err := baseK.Advise(&baseOpts)
+		r, err := baseK.Advise(ctx, &baseOpts)
 		if err != nil {
 			return fmt.Errorf("%s: advise: %w", b.ID(), err)
 		}

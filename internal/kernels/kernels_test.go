@@ -1,6 +1,9 @@
 package kernels
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
@@ -52,7 +55,7 @@ func TestTable3Shape(t *testing.T) {
 	for _, b := range All() {
 		b := b
 		t.Run(b.ID(), func(t *testing.T) {
-			out, err := b.Run(RunOptions{Seed: 11})
+			out, err := b.Run(context.Background(), RunOptions{Seed: 11})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -89,7 +92,7 @@ func TestFigure7Shape(t *testing.T) {
 	for _, b := range Rodinia() {
 		b := b
 		t.Run(b.App, func(t *testing.T) {
-			before, after, err := Coverage(b, RunOptions{Seed: 11})
+			before, after, err := Coverage(context.Background(), b, RunOptions{Seed: 11})
 			if err != nil {
 				t.Fatal(err)
 			}

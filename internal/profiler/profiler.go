@@ -19,6 +19,7 @@
 package profiler
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -104,19 +105,22 @@ type Profile struct {
 	Records []PCRecord `json:"records"`
 }
 
-// Collect profiles one launch of the module's entry kernel.
-func Collect(mod *sass.Module, launch gpusim.LaunchConfig, wl gpusim.Workload, opts Options) (*Profile, error) {
+// Collect profiles one launch of the module's entry kernel. The
+// context cancels the underlying simulation (see gpusim.Run).
+func Collect(ctx context.Context, mod *sass.Module, launch gpusim.LaunchConfig, wl gpusim.Workload, opts Options) (*Profile, error) {
 	prog, err := gpusim.Load(mod)
 	if err != nil {
 		return nil, fmt.Errorf("profiler: %w", err)
 	}
-	return CollectProgram(prog, launch, wl, opts)
+	return CollectProgram(ctx, prog, launch, wl, opts)
 }
 
 // CollectProgram profiles one launch of an already-loaded program,
 // letting callers that profile the same kernel repeatedly skip the
-// per-run module flattening.
-func CollectProgram(prog *gpusim.Program, launch gpusim.LaunchConfig, wl gpusim.Workload, opts Options) (*Profile, error) {
+// per-run module flattening. The context cancels the underlying
+// simulation (see gpusim.Run); cancellation never alters the profile
+// of a run that completes.
+func CollectProgram(ctx context.Context, prog *gpusim.Program, launch gpusim.LaunchConfig, wl gpusim.Workload, opts Options) (*Profile, error) {
 	mod := prog.Module
 	if opts.GPU == nil {
 		g, err := arch.ByArchFlag(mod.Arch)
@@ -130,7 +134,7 @@ func CollectProgram(prog *gpusim.Program, launch gpusim.LaunchConfig, wl gpusim.
 		period = 64
 	}
 	buf := sampling.NewBuffer(opts.BufferCap)
-	res, err := gpusim.Run(prog, launch, wl, gpusim.Config{
+	res, err := gpusim.Run(ctx, prog, launch, wl, gpusim.Config{
 		GPU:          opts.GPU,
 		SimSMs:       opts.SimSMs,
 		SamplePeriod: period,

@@ -1,6 +1,7 @@
 package profiler
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -40,7 +41,7 @@ func collect(t *testing.T, opts Options) (*sass.Module, *Profile) {
 		t.Fatal(err)
 	}
 	launch := gpusim.LaunchConfig{Entry: "stencil", Grid: gpusim.Dim(4), Block: gpusim.Dim(128), RegsPerThread: 16}
-	p, err := Collect(m, launch, wl, opts)
+	p, err := Collect(context.Background(), m, launch, wl, opts)
 	if err != nil {
 		t.Fatalf("Collect: %v", err)
 	}

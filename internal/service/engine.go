@@ -13,6 +13,17 @@
 // of the pipeline (simulate / profile / blame / advise via the same
 // internal packages the gpa API composes).
 //
+// Cancellation contract: Do takes a context.Context and honors it at
+// every tier. A caller abandoning a queued request detaches before a
+// worker slot is spent; a caller abandoning a coalesced request
+// detaches from the flight without killing the shared run (the other
+// waiters still get the result), and the run itself is canceled only
+// when its last waiter detaches. Per-request deadlines come from
+// Request.Timeout (falling back to Options.DefaultTimeout), and a
+// bounded admission queue sheds excess load with ErrQueueFull instead
+// of queueing without limit. All cancellation errors wrap
+// apierr.ErrCanceled plus the original ctx.Err().
+//
 // Determinism contract: the simulator is bit-identical at every
 // parallelism level, and cached responses are stored verbatim, so a
 // cache hit returns byte-identical report text to a cold sequential
@@ -21,11 +32,15 @@
 package service
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
+	"gpa/internal/apierr"
 	"gpa/internal/arch"
 	"gpa/internal/blamer"
 	"gpa/internal/gpusim"
@@ -97,6 +112,11 @@ type Request struct {
 	// oversubscribe the machine). Excluded from the digest — results
 	// are identical at every level.
 	Parallelism int
+	// Timeout is this request's deadline, measured from admission
+	// (0 = the engine's DefaultTimeout; negative = none even when a
+	// default is set). Excluded from the digest — deadlines never
+	// affect a completed result.
+	Timeout time.Duration
 	// Blamer tunes the pruning/apportioning heuristics (KindAdvise).
 	Blamer blamer.Options
 	// Workload supplies branch trips and memory behaviour. Workloads
@@ -139,6 +159,11 @@ type Response struct {
 	Kind   Kind
 	// Cycles is the simulated kernel duration.
 	Cycles int64
+	// ElapsedMS is the wall-clock cost in milliseconds of the pipeline
+	// run that produced this response. Cache and singleflight hits
+	// return the original run's value (the cost the cache avoided), so
+	// a hit stays byte-identical to the run it shares.
+	ElapsedMS float64
 	// Profile is set for KindProfile and KindAdvise.
 	Profile *profiler.Profile
 	// ProfileDigest is the profile's stable content digest (drift
@@ -157,7 +182,7 @@ type Stats struct {
 	// Hits counts result-cache hits (no simulation, no waiting).
 	Hits int64 `json:"hits"`
 	// Misses counts requests that found neither a cached result nor an
-	// in-flight duplicate and ran the pipeline themselves.
+	// in-flight duplicate and started a new pipeline run.
 	Misses int64 `json:"misses"`
 	// Coalesced counts requests that joined an identical in-flight
 	// request (singleflight followers: N concurrent duplicates cost
@@ -169,6 +194,13 @@ type Stats struct {
 	Runs int64 `json:"runs"`
 	// Errors counts failed pipeline executions (errors are not cached).
 	Errors int64 `json:"errors"`
+	// Canceled counts callers that abandoned a request — context
+	// canceled or deadline expired — while it was queued, in flight, or
+	// coalesced onto a shared flight.
+	Canceled int64 `json:"canceled"`
+	// Shed counts requests rejected with ErrQueueFull because the
+	// admission queue was at capacity.
+	Shed int64 `json:"shed"`
 	// Evictions counts LRU cache evictions.
 	Evictions int64 `json:"evictions"`
 	// Inflight is the number of requests currently executing or queued
@@ -187,6 +219,14 @@ type Options struct {
 	// CacheEntries bounds the LRU result cache (0 = 512, negative
 	// disables caching; singleflight coalescing still applies).
 	CacheEntries int
+	// MaxQueue bounds how many pipeline runs may wait for a worker slot
+	// beyond the Workers already running; a run arriving past the bound
+	// is shed immediately with ErrQueueFull (0 = unbounded, the
+	// pre-load-shedding behaviour; negative = no queue at all).
+	MaxQueue int
+	// DefaultTimeout is the per-request deadline applied to every
+	// request whose own Timeout is zero (0 = none).
+	DefaultTimeout time.Duration
 }
 
 // Engine is the concurrent advice engine: a worker pool with a
@@ -194,21 +234,41 @@ type Options struct {
 // for concurrent use.
 type Engine struct {
 	sem chan struct{}
+	// slots is the admission queue: nil when unbounded, else a
+	// semaphore of capacity Workers+MaxQueue acquired non-blockingly
+	// before a run may wait for a worker.
+	slots          chan struct{}
+	defaultTimeout time.Duration
 
-	mu     sync.Mutex
-	cache  *lruCache // nil when caching is disabled
-	flight map[string]*flightCall
+	// baseCtx parents every flight's run context, so Shutdown's hard
+	// stop can cancel all in-flight simulations at once (with
+	// ErrShuttingDown as the cause, so their failures surface as
+	// shutdown, not as a client-side cancel).
+	baseCtx    context.Context
+	baseCancel context.CancelCauseFunc
+	// drainCh is closed when Shutdown begins: new requests are
+	// rejected and queued (not yet running) runs are abandoned.
+	drainCh chan struct{}
+
+	mu       sync.Mutex
+	draining bool
+	cache    *lruCache // nil when caching is disabled
+	flight   map[string]*flightCall
 
 	stats struct {
-		hits, misses, coalesced, bypass, runs, errors, evictions, inflight int64
+		hits, misses, coalesced, bypass, runs, errors, canceled, shed, evictions, inflight int64
 	}
 }
 
 // flightCall tracks one in-flight execution joined by duplicates.
+// waiters is guarded by Engine.mu; when it drops to zero every caller
+// has detached and cancel reclaims the run.
 type flightCall struct {
-	done chan struct{}
-	resp *Response
-	err  error
+	done    chan struct{}
+	cancel  context.CancelFunc
+	waiters int
+	resp    *Response
+	err     error
 }
 
 // New builds an engine.
@@ -221,26 +281,70 @@ func New(opts Options) *Engine {
 	if entries == 0 {
 		entries = 512
 	}
-	return &Engine{
-		sem:    make(chan struct{}, workers),
-		cache:  newLRUCache(entries), // nil for entries < 0
-		flight: make(map[string]*flightCall),
+	baseCtx, baseCancel := context.WithCancelCause(context.Background())
+	e := &Engine{
+		sem:            make(chan struct{}, workers),
+		defaultTimeout: opts.DefaultTimeout,
+		baseCtx:        baseCtx,
+		baseCancel:     baseCancel,
+		drainCh:        make(chan struct{}),
+		cache:          newLRUCache(entries), // nil for entries < 0
+		flight:         make(map[string]*flightCall),
 	}
+	if opts.MaxQueue != 0 {
+		queue := opts.MaxQueue
+		if queue < 0 {
+			queue = 0
+		}
+		e.slots = make(chan struct{}, workers+queue)
+	}
+	return e
+}
+
+// withDeadline applies the request's deadline (or the engine default)
+// to ctx; the returned cancel must run even on the no-deadline path.
+func (e *Engine) withDeadline(ctx context.Context, req *Request) (context.Context, context.CancelFunc) {
+	timeout := req.Timeout
+	if timeout == 0 {
+		timeout = e.defaultTimeout
+	}
+	if timeout <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, timeout)
 }
 
 // Do resolves one request: result cache, then singleflight, then a
-// worker-bounded pipeline run. Errors are returned to every waiter of
-// the failed flight and are never cached.
-func (e *Engine) Do(req *Request) (*Response, error) {
+// worker-bounded pipeline run. A canceled ctx detaches this caller
+// wherever it is waiting — queued, running, or coalesced — and returns
+// an error wrapping ErrCanceled; the shared run itself is canceled
+// only when its last waiter detaches. Errors are returned to every
+// waiter of the failed flight and are never cached.
+func (e *Engine) Do(ctx context.Context, req *Request) (*Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := apierr.CtxErr(ctx); err != nil {
+		e.count(&e.stats.canceled)
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	select {
+	case <-e.drainCh:
+		return nil, fmt.Errorf("service: %w", apierr.ErrShuttingDown)
+	default:
+	}
+	ctx, cancel := e.withDeadline(ctx, req)
+	defer cancel()
+
 	key, err := req.Digest()
 	if err != nil {
 		return nil, err
 	}
 	if key == "" {
-		e.mu.Lock()
-		e.stats.bypass++
-		e.mu.Unlock()
-		return e.run(req, key)
+		e.count(&e.stats.bypass)
+		// Uncacheable requests cannot share a flight, but the caller's
+		// ctx still cancels the run directly.
+		return e.execute(ctx, req, key)
 	}
 
 	e.mu.Lock()
@@ -251,38 +355,86 @@ func (e *Engine) Do(req *Request) (*Response, error) {
 			return asCached(resp), nil
 		}
 	}
-	if c, ok := e.flight[key]; ok {
+	c, joined := e.flight[key]
+	if joined {
+		c.waiters++
 		e.stats.coalesced++
 		e.mu.Unlock()
-		<-c.done
+	} else {
+		runCtx, cancelRun := context.WithCancel(e.baseCtx)
+		c = &flightCall{done: make(chan struct{}), cancel: cancelRun, waiters: 1}
+		e.flight[key] = c
+		e.stats.misses++
+		e.mu.Unlock()
+		// The run is owned by the flight, not by this caller: it keeps
+		// going if this caller detaches while other waiters remain, and
+		// dies (via cancelRun) when the last waiter detaches.
+		go func() {
+			resp, err := e.execute(runCtx, req, key)
+			cancelRun()
+			e.mu.Lock()
+			// detach may already have removed an abandoned flight and a
+			// fresh caller may have installed a new one under the same
+			// key; only remove our own entry.
+			if e.flight[key] == c {
+				delete(e.flight, key)
+			}
+			c.resp, c.err = resp, err
+			if err == nil && e.cache != nil {
+				e.stats.evictions += int64(e.cache.add(key, resp))
+			}
+			e.mu.Unlock()
+			close(c.done)
+		}()
+	}
+
+	select {
+	case <-c.done:
 		if c.err != nil {
 			return nil, c.err
 		}
-		return asCached(c.resp), nil
+		if joined {
+			return asCached(c.resp), nil
+		}
+		return c.resp, nil
+	case <-ctx.Done():
+		e.detach(key, c)
+		return nil, fmt.Errorf("service: %w", apierr.Canceled(ctx.Err()))
 	}
-	c := &flightCall{done: make(chan struct{})}
-	e.flight[key] = c
-	e.stats.misses++
-	e.mu.Unlock()
+}
 
-	resp, err := e.run(req, key)
-	c.resp, c.err = resp, err
-
+// detach removes one waiter from a flight; the last waiter out cancels
+// the shared run (nobody is left to consume its result) and unlinks
+// the flight immediately, so a fresh caller arriving while the
+// canceled run unwinds starts a new run instead of inheriting the
+// abandoned flight's cancellation error.
+func (e *Engine) detach(key string, c *flightCall) {
 	e.mu.Lock()
-	delete(e.flight, key)
-	if err == nil && e.cache != nil {
-		e.stats.evictions += int64(e.cache.add(key, resp))
+	e.stats.canceled++
+	c.waiters--
+	last := c.waiters == 0
+	if last && e.flight[key] == c {
+		delete(e.flight, key)
 	}
 	e.mu.Unlock()
-	close(c.done)
-	return resp, err
+	if last {
+		c.cancel()
+	}
+}
+
+// count bumps one stats counter under the engine lock.
+func (e *Engine) count(f *int64) {
+	e.mu.Lock()
+	*f++
+	e.mu.Unlock()
 }
 
 // DoAll resolves requests concurrently (one goroutine each; execution
 // is bounded by the worker pool, and identical requests coalesce).
 // Results are positionally aligned with reqs; each slot carries either
-// a response or an error.
-func (e *Engine) DoAll(reqs []*Request) ([]*Response, []error) {
+// a response or an error. A canceled ctx abandons every unfinished
+// request.
+func (e *Engine) DoAll(ctx context.Context, reqs []*Request) ([]*Response, []error) {
 	resps := make([]*Response, len(reqs))
 	errs := make([]error, len(reqs))
 	var wg sync.WaitGroup
@@ -290,11 +442,57 @@ func (e *Engine) DoAll(reqs []*Request) ([]*Response, []error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resps[i], errs[i] = e.Do(reqs[i])
+			resps[i], errs[i] = e.Do(ctx, reqs[i])
 		}(i)
 	}
 	wg.Wait()
 	return resps, errs
+}
+
+// Shutdown drains the engine: new requests are rejected with
+// ErrShuttingDown, queued runs are abandoned immediately, and
+// in-flight simulations are given until ctx's deadline to finish.
+// When the deadline expires first, every remaining simulation is
+// canceled (the cancel checkpoints make them return promptly) and
+// Shutdown keeps waiting for them to unwind before returning ctx's
+// error. A nil error means the engine drained cleanly. Shutdown is
+// idempotent.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.mu.Lock()
+	if !e.draining {
+		e.draining = true
+		close(e.drainCh)
+	}
+	e.mu.Unlock()
+
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	hardStopped := false
+	for {
+		e.mu.Lock()
+		idle := e.stats.inflight == 0
+		e.mu.Unlock()
+		if idle {
+			if hardStopped {
+				return fmt.Errorf("service: shutdown: %w", apierr.Canceled(ctx.Err()))
+			}
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			if !hardStopped {
+				hardStopped = true
+				// Cancel every in-flight simulation, tagging the cause so
+				// their errors report "shutting down" rather than a
+				// client-side cancel.
+				e.baseCancel(apierr.ErrShuttingDown)
+			}
+		case <-tick.C:
+		}
+	}
 }
 
 // Stats snapshots the engine counters.
@@ -308,6 +506,8 @@ func (e *Engine) Stats() Stats {
 		Bypass:       e.stats.bypass,
 		Runs:         e.stats.runs,
 		Errors:       e.stats.errors,
+		Canceled:     e.stats.canceled,
+		Shed:         e.stats.shed,
 		Evictions:    e.stats.evictions,
 		Inflight:     e.stats.inflight,
 		CacheEntries: e.cache.len(),
@@ -323,23 +523,57 @@ func asCached(r *Response) *Response {
 	return &c
 }
 
-// run executes the pipeline for one request under a worker slot.
-func (e *Engine) run(req *Request, key string) (resp *Response, err error) {
-	e.mu.Lock()
-	e.stats.inflight++
-	e.mu.Unlock()
-	e.sem <- struct{}{}
+// execute runs the pipeline for one request: admission queue, then a
+// worker slot (abandoned early if ctx dies or the engine drains), then
+// the pipeline itself under the run context.
+func (e *Engine) execute(ctx context.Context, req *Request, key string) (resp *Response, err error) {
+	if e.slots != nil {
+		select {
+		case e.slots <- struct{}{}:
+			defer func() { <-e.slots }()
+		default:
+			e.count(&e.stats.shed)
+			return nil, fmt.Errorf("service: %w (capacity %d)", apierr.ErrQueueFull, cap(e.slots))
+		}
+	}
+	e.count(&e.stats.inflight)
+	defer func() {
+		e.mu.Lock()
+		e.stats.inflight--
+		e.mu.Unlock()
+	}()
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		// Queued but never ran: no worker slot was spent.
+		return nil, fmt.Errorf("service: %w", apierr.Canceled(ctx.Err()))
+	case <-e.drainCh:
+		return nil, fmt.Errorf("service: %w: abandoned in queue", apierr.ErrShuttingDown)
+	}
 	defer func() {
 		<-e.sem
 		e.mu.Lock()
 		e.stats.runs++
-		e.stats.inflight--
 		if err != nil {
 			e.stats.errors++
 		}
 		e.mu.Unlock()
 	}()
+	// A run canceled by Shutdown's hard stop failed because the SERVER
+	// is going away, not because the caller gave up; report it as such.
+	defer func() {
+		if err != nil && errors.Is(err, apierr.ErrCanceled) &&
+			errors.Is(context.Cause(ctx), apierr.ErrShuttingDown) {
+			err = fmt.Errorf("service: %w: in-flight run canceled by engine shutdown",
+				apierr.ErrShuttingDown)
+			resp = nil
+		}
+	}()
+	if err := apierr.CtxErr(ctx); err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
 
+	start := time.Now()
 	n := req.normalized()
 	prog := n.Prog
 	if prog == nil {
@@ -351,7 +585,7 @@ func (e *Engine) run(req *Request, key string) (resp *Response, err error) {
 	resp = &Response{Key: key, Kind: n.Kind}
 
 	if n.Kind == KindMeasure {
-		res, err := gpusim.Run(prog, n.Launch, n.Workload, gpusim.Config{
+		res, err := gpusim.Run(ctx, prog, n.Launch, n.Workload, gpusim.Config{
 			GPU:         n.GPU,
 			SimSMs:      n.SimSMs,
 			Seed:        n.Seed,
@@ -361,10 +595,11 @@ func (e *Engine) run(req *Request, key string) (resp *Response, err error) {
 			return nil, fmt.Errorf("service: %w", err)
 		}
 		resp.Cycles = res.Cycles
+		resp.ElapsedMS = elapsedMS(start)
 		return resp, nil
 	}
 
-	prof, err := profiler.CollectProgram(prog, n.Launch, n.Workload, profiler.Options{
+	prof, err := profiler.CollectProgram(ctx, prog, n.Launch, n.Workload, profiler.Options{
 		GPU:          n.GPU,
 		SamplePeriod: n.SamplePeriod,
 		SimSMs:       n.SimSMs,
@@ -381,16 +616,27 @@ func (e *Engine) run(req *Request, key string) (resp *Response, err error) {
 		return nil, fmt.Errorf("service: %w", err)
 	}
 	if n.Kind == KindProfile {
+		resp.ElapsedMS = elapsedMS(start)
 		return resp, nil
 	}
 
-	ctx, err := adv.BuildContext(n.Module, prof, n.GPU, n.Blamer)
+	if err := apierr.CtxErr(ctx); err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	actx, err := adv.BuildContext(n.Module, prof, n.GPU, n.Blamer)
 	if err != nil {
 		return nil, fmt.Errorf("service: %w", err)
 	}
-	advice := adv.Advise(ctx, adv.DefaultOptimizers()...)
+	advice := adv.Advise(actx, adv.DefaultOptimizers()...)
 	resp.Advice = advice
-	resp.Context = ctx
+	resp.Context = actx
 	resp.Report = advice.String()
+	resp.ElapsedMS = elapsedMS(start)
 	return resp, nil
+}
+
+// elapsedMS renders a stage duration in milliseconds with microsecond
+// resolution (stable-width JSON, no sub-ns noise).
+func elapsedMS(start time.Time) float64 {
+	return float64(time.Since(start).Microseconds()) / 1000
 }

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -136,11 +137,11 @@ func TestWorkloadWithoutKeyBypasses(t *testing.T) {
 	}
 
 	e := New(Options{Workers: 1})
-	resp1, err := e.Do(r)
+	resp1, err := e.Do(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp2, err := e.Do(r)
+	resp2, err := e.Do(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestWorkloadWithoutKeyBypasses(t *testing.T) {
 
 func TestCacheHitByteIdentical(t *testing.T) {
 	e := New(Options{Workers: 2})
-	cold, err := e.Do(testRequest(t, KindAdvise))
+	cold, err := e.Do(context.Background(), testRequest(t, KindAdvise))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestCacheHitByteIdentical(t *testing.T) {
 	if cold.Report == "" || cold.Advice == nil || cold.Profile == nil {
 		t.Fatal("advise response incomplete")
 	}
-	warm, err := e.Do(testRequest(t, KindAdvise))
+	warm, err := e.Do(context.Background(), testRequest(t, KindAdvise))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +198,7 @@ func TestSingleflightCoalesces(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resps[i], errs[i] = e.Do(testRequest(t, KindAdvise))
+			resps[i], errs[i] = e.Do(context.Background(), testRequest(t, KindAdvise))
 		}(i)
 	}
 	wg.Wait()
@@ -231,7 +232,7 @@ func TestDoAllMixedKinds(t *testing.T) {
 		testRequest(t, KindProfile),
 		testRequest(t, KindAdvise),
 	}
-	resps, errs := e.DoAll(reqs)
+	resps, errs := e.DoAll(context.Background(), reqs)
 	for i, err := range errs {
 		if err != nil {
 			t.Fatalf("req %d: %v", i, err)
@@ -256,10 +257,10 @@ func TestErrorsNotCached(t *testing.T) {
 	e := New(Options{Workers: 1})
 	r := testRequest(t, KindMeasure)
 	r.Launch.Entry = "missing"
-	if _, err := e.Do(r); err == nil {
+	if _, err := e.Do(context.Background(), r); err == nil {
 		t.Fatal("expected error for unknown entry")
 	}
-	if _, err := e.Do(r); err == nil {
+	if _, err := e.Do(context.Background(), r); err == nil {
 		t.Fatal("expected error again (errors must not be cached)")
 	}
 	st := e.Stats()
@@ -273,7 +274,7 @@ func TestLRUEviction(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		r := testRequest(t, KindMeasure)
 		r.Seed = uint64(i)
-		if _, err := e.Do(r); err != nil {
+		if _, err := e.Do(context.Background(), r); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -284,7 +285,7 @@ func TestLRUEviction(t *testing.T) {
 	// Seed 0 was evicted (least recently used): a repeat re-runs.
 	r := testRequest(t, KindMeasure)
 	r.Seed = 0
-	resp, err := e.Do(r)
+	resp, err := e.Do(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +295,7 @@ func TestLRUEviction(t *testing.T) {
 	// Seed 2 is still resident.
 	r2 := testRequest(t, KindMeasure)
 	r2.Seed = 2
-	resp2, err := e.Do(r2)
+	resp2, err := e.Do(context.Background(), r2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +307,7 @@ func TestLRUEviction(t *testing.T) {
 func TestCacheDisabled(t *testing.T) {
 	e := New(Options{Workers: 1, CacheEntries: -1})
 	for i := 0; i < 2; i++ {
-		resp, err := e.Do(testRequest(t, KindMeasure))
+		resp, err := e.Do(context.Background(), testRequest(t, KindMeasure))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -340,11 +341,11 @@ func TestParallelismMatchesSequential(t *testing.T) {
 	rseq := testRequest(t, KindAdvise)
 	rpar := testRequest(t, KindAdvise)
 	rpar.Parallelism = 4
-	a, err := seq.Do(rseq)
+	a, err := seq.Do(context.Background(), rseq)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := par.Do(rpar)
+	b, err := par.Do(context.Background(), rpar)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package gpa_test
 
 import (
+	"context"
 	"testing"
 
 	"gpa"
@@ -21,7 +22,7 @@ func TestCrossArchDeterminism(t *testing.T) {
 				opts.GPU = g
 				opts.SimSMs = 4
 				opts.Parallelism = parallelism
-				report, err := k.Advise(opts)
+				report, err := k.Advise(context.Background(), opts)
 				if err != nil {
 					t.Fatalf("%s: %v", g.Name, err)
 				}
@@ -53,7 +54,7 @@ func TestCrossArchCyclesDiffer(t *testing.T) {
 		}
 		k, opts := apiKernel(t)
 		opts.GPU = gpu
-		cycles, err := k.Measure(opts)
+		cycles, err := k.Measure(context.Background(), opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -76,7 +77,7 @@ func TestProfileCarriesArchitecture(t *testing.T) {
 	}
 	k, opts := apiKernel(t)
 	opts.GPU = t4
-	prof, err := k.Profile(opts)
+	prof, err := k.Profile(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestProfileCarriesArchitecture(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := k.AdviseFromProfile(loaded, nil)
+	report, err := k.AdviseFromProfile(context.Background(), loaded, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,14 +102,14 @@ func TestProfileCarriesArchitecture(t *testing.T) {
 	// The default model stays unrecorded so default profiles keep their
 	// digest across revisions.
 	k2, opts2 := apiKernel(t)
-	defProf, err := k2.Profile(opts2)
+	defProf, err := k2.Profile(context.Background(), opts2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if defProf.GPU != "" {
 		t.Errorf("default-arch profile records GPU %q, want empty", defProf.GPU)
 	}
-	defReport, err := k2.AdviseFromProfile(defProf, nil)
+	defReport, err := k2.AdviseFromProfile(context.Background(), defProf, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,15 +1,18 @@
 #!/usr/bin/env sh
 # CI smoke test for the gpad advice service: build and start the
 # server, POST a bundled kernel, assert a ranked advice response, POST
-# it again and assert a cache hit with a byte-identical report, and
-# check /statsz accounted one simulation. Run from the repo root.
+# it again and assert a cache hit with a byte-identical report, check
+# /statsz accounted one simulation, then send SIGTERM and assert the
+# daemon drains and exits cleanly. Run from the repo root.
 set -eu
 
 ADDR=${GPAD_ADDR:-127.0.0.1:8377}
-BIN=$(mktemp -d)/gpad
+TMP=$(mktemp -d)
+BIN=$TMP/gpad
+LOG=$TMP/gpad.log
 go build -o "$BIN" ./cmd/gpad
 
-"$BIN" -addr "$ADDR" &
+"$BIN" -addr "$ADDR" >"$LOG" 2>&1 &
 PID=$!
 trap 'kill $PID 2>/dev/null || true' EXIT INT TERM
 
@@ -28,6 +31,11 @@ REQ='{"bench":"rodinia/hotspot"}'
 R1=$(curl -sf -X POST -H 'Content-Type: application/json' -d "$REQ" "http://$ADDR/v1/advise")
 R2=$(curl -sf -X POST -H 'Content-Type: application/json' -d "$REQ" "http://$ADDR/v1/advise")
 
+echo "$R1" | grep -q '"schemaVersion": "gpa-result/2"' || {
+    echo "gpad-smoke: response is not a v2 structured result" >&2
+    echo "$R1" >&2
+    exit 1
+}
 echo "$R1" | grep -q '"cached": false' || {
     echo "gpad-smoke: first response was not a cache miss" >&2
     echo "$R1" >&2
@@ -50,13 +58,29 @@ echo "$R2" | grep -q '"cached": true' || {
 }
 
 # The determinism contract: modulo the cached flag, the cold and cached
-# response bodies are byte-identical.
+# response bodies are byte-identical (a cache hit reports the original
+# run's elapsedMs, so even the timing field matches).
 N1=$(echo "$R1" | sed 's/"cached": false/"cached": X/')
 N2=$(echo "$R2" | sed 's/"cached": true/"cached": X/')
 if [ "$N1" != "$N2" ]; then
     echo "gpad-smoke: cached response differs from cold response" >&2
     exit 1
 fi
+
+# Typed errors map to status codes: an unknown architecture is a 400
+# with a stable machine-readable code.
+EC=$(curl -s -o /dev/null -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
+    -d '{"bench":"rodinia/hotspot","arch":"sm_999"}' "http://$ADDR/v1/advise")
+if [ "$EC" != "400" ]; then
+    echo "gpad-smoke: unknown arch returned status $EC, want 400" >&2
+    exit 1
+fi
+curl -s -X POST -H 'Content-Type: application/json' \
+    -d '{"bench":"rodinia/hotspot","arch":"sm_999"}' "http://$ADDR/v1/advise" \
+    | grep -q '"code": "unknown_arch"' || {
+    echo "gpad-smoke: unknown arch error body missing code" >&2
+    exit 1
+}
 
 # /statsz: one simulation, one hit.
 STATS=$(curl -sf "http://$ADDR/statsz")
@@ -69,4 +93,21 @@ echo "$STATS" | grep -q '"hits": 1' || {
     exit 1
 }
 
-echo "gpad-smoke: OK (one simulation, cache hit byte-identical)"
+# Graceful shutdown: SIGTERM drains and exits 0 within the drain
+# deadline, logging the completed drain.
+kill -TERM $PID
+STATUS=0
+wait $PID || STATUS=$?
+trap - EXIT INT TERM
+if [ "$STATUS" -ne 0 ]; then
+    echo "gpad-smoke: SIGTERM exit status $STATUS, want 0" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+grep -q 'shutdown complete' "$LOG" || {
+    echo "gpad-smoke: no clean shutdown log line" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+
+echo "gpad-smoke: OK (one simulation, byte-identical cache hit, typed errors, clean shutdown)"
