@@ -52,6 +52,11 @@ type benchSnapshot struct {
 type stageResult struct {
 	Name    string  `json:"name"`
 	NsPerOp float64 `json:"nsPerOp"`
+	// AllocsPerOp / BytesPerOp are the mean heap allocation count and
+	// volume per operation (runtime.MemStats deltas over the timed
+	// reps), tracking the serving path's GC pressure across PRs.
+	AllocsPerOp float64 `json:"allocsPerOp"`
+	BytesPerOp  float64 `json:"bytesPerOp"`
 }
 
 type engineStageResult struct {
@@ -64,17 +69,39 @@ type engineStageResult struct {
 	Reps          int     `json:"reps"`
 	NsPerKernel   float64 `json:"nsPerKernel"`
 	KernelsPerSec float64 `json:"kernelsPerSec"`
+	// AllocsPerKernel / BytesPerKernel are heap allocation deltas per
+	// kernel in the batch (see stageResult).
+	AllocsPerKernel float64 `json:"allocsPerKernel"`
+	BytesPerKernel  float64 `json:"bytesPerKernel"`
 }
 
-// timeStage runs fn reps times and returns the mean ns/op.
-func timeStage(reps int, fn func() error) (float64, error) {
+// stageCost is one timed stage's mean per-op wall-clock and allocation
+// cost.
+type stageCost struct {
+	ns, allocs, bytes float64
+}
+
+// timeStage runs fn reps times and returns the mean per-op cost.
+// Allocation numbers are process-wide MemStats deltas: exact for the
+// single-goroutine stages, a faithful serving-cost measure for the
+// concurrent engine passes.
+func timeStage(reps int, fn func() error) (stageCost, error) {
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	start := time.Now()
 	for i := 0; i < reps; i++ {
 		if err := fn(); err != nil {
-			return 0, err
+			return stageCost{}, err
 		}
 	}
-	return float64(time.Since(start).Nanoseconds()) / float64(reps), nil
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	r := float64(reps)
+	return stageCost{
+		ns:     float64(elapsed.Nanoseconds()) / r,
+		allocs: float64(m1.Mallocs-m0.Mallocs) / r,
+		bytes:  float64(m1.TotalAlloc-m0.TotalAlloc) / r,
+	}, nil
 }
 
 // runBenchSnapshot times the pipeline stages on the representative
@@ -101,7 +128,7 @@ func runBenchSnapshot(ctx context.Context, path string, reps int, seed uint64, b
 	parOpts := &gpa.Options{GPU: gpu, Workload: wl, Seed: seed, SimSMs: simSMs, Parallelism: runtime.GOMAXPROCS(0)}
 
 	snap := &benchSnapshot{
-		Schema:       "gpa-bench-snapshot/1",
+		Schema:       "gpa-bench-snapshot/2",
 		Generated:    time.Now().UTC().Format(time.RFC3339),
 		GoVersion:    runtime.Version(),
 		NumCPU:       runtime.NumCPU(),
@@ -138,13 +165,17 @@ func runBenchSnapshot(ctx context.Context, path string, reps int, seed uint64, b
 	}
 	byName := map[string]float64{}
 	for _, st := range stages {
-		ns, err := timeStage(reps, st.fn)
+		cost, err := timeStage(reps, st.fn)
 		if err != nil {
 			return fmt.Errorf("bench: %s: %w", st.name, err)
 		}
-		byName[st.name] = ns
-		snap.Stages = append(snap.Stages, stageResult{Name: st.name, NsPerOp: ns})
-		fmt.Printf("bench: %-14s %14.0f ns/op\n", st.name, ns)
+		byName[st.name] = cost.ns
+		snap.Stages = append(snap.Stages, stageResult{
+			Name: st.name, NsPerOp: cost.ns,
+			AllocsPerOp: cost.allocs, BytesPerOp: cost.bytes,
+		})
+		fmt.Printf("bench: %-14s %14.0f ns/op %12.0f allocs/op %12.0f B/op\n",
+			st.name, cost.ns, cost.allocs, cost.bytes)
 	}
 	engineStages, err := benchEngine(ctx, reps, seed, gpu)
 	if err != nil {
@@ -152,8 +183,8 @@ func runBenchSnapshot(ctx context.Context, path string, reps int, seed uint64, b
 	}
 	snap.Engine = engineStages
 	for _, st := range engineStages {
-		fmt.Printf("bench: %-14s %14.0f ns/kernel (%.1f kernels/sec, %d workers)\n",
-			st.Name, st.NsPerKernel, st.KernelsPerSec, st.Workers)
+		fmt.Printf("bench: %-14s %14.0f ns/kernel (%.1f kernels/sec, %d workers, %.1f allocs/kernel)\n",
+			st.Name, st.NsPerKernel, st.KernelsPerSec, st.Workers, st.AllocsPerKernel)
 	}
 	if byName["simulate_par"] > 0 {
 		snap.ParallelSpeedup = byName["simulate_seq"] / byName["simulate_par"]
@@ -209,7 +240,7 @@ func benchEngine(ctx context.Context, reps int, seed uint64, gpu *arch.GPU) ([]e
 	var out []engineStageResult
 	for _, workers := range []int{1, 4} {
 		opts := &gpa.EngineOptions{Workers: workers}
-		coldNs, err := timeStage(coldReps, func() error {
+		cold, err := timeStage(coldReps, func() error {
 			return doAll(gpa.NewEngine(opts)) // fresh engine: all misses
 		})
 		if err != nil {
@@ -219,15 +250,18 @@ func benchEngine(ctx context.Context, reps int, seed uint64, gpu *arch.GPU) ([]e
 		if err := doAll(warm); err != nil { // prewarm: fill the cache
 			return nil, err
 		}
-		warmNs, err := timeStage(reps, func() error { return doAll(warm) })
+		warmCost, err := timeStage(reps, func() error { return doAll(warm) })
 		if err != nil {
 			return nil, err
 		}
+		n := float64(len(jobs))
 		for _, st := range []engineStageResult{
 			{Name: fmt.Sprintf("engine_cold_w%d", workers), Workers: workers,
-				Kernels: len(jobs), Reps: coldReps, NsPerKernel: coldNs / float64(len(jobs))},
+				Kernels: len(jobs), Reps: coldReps, NsPerKernel: cold.ns / n,
+				AllocsPerKernel: cold.allocs / n, BytesPerKernel: cold.bytes / n},
 			{Name: fmt.Sprintf("engine_warm_w%d", workers), Workers: workers, Cached: true,
-				Kernels: len(jobs), Reps: reps, NsPerKernel: warmNs / float64(len(jobs))},
+				Kernels: len(jobs), Reps: reps, NsPerKernel: warmCost.ns / n,
+				AllocsPerKernel: warmCost.allocs / n, BytesPerKernel: warmCost.bytes / n},
 		} {
 			if st.NsPerKernel > 0 {
 				st.KernelsPerSec = 1e9 / st.NsPerKernel

@@ -41,7 +41,10 @@
 //	GET  /v1/archs    List the registered GPU architecture models.
 //	GET  /healthz     Liveness probe.
 //	GET  /statsz      Engine counters: hits, misses, coalesced,
-//	                  canceled, shed, inflight, runs, evictions.
+//	                  canceled, shed, inflight, runs, evictions, plus
+//	                  the serving-efficiency gauges poolGets/poolHits
+//	                  (simulator state-arena reuse) and allocsPerJob.
+//	                  Also served at /v1/statsz.
 //
 // The simulator is deterministic, so gpad's responses are a pure
 // function of the request: two deployments answering the same request

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
 	"gpa"
@@ -26,6 +27,9 @@ const maxBodyBytes = 8 << 20
 type server struct {
 	eng     *gpa.Engine
 	started time.Time
+	// gpus caches resolved architecture models by request name (see
+	// lookupGPU).
+	gpus sync.Map // string -> *arch.GPU
 }
 
 // newServer builds the gpad handler around a shared engine.
@@ -39,7 +43,25 @@ func newServer(eng *gpa.Engine) http.Handler {
 	mux.HandleFunc("/v1/archs", s.get(s.handleArchs))
 	mux.HandleFunc("/healthz", s.get(s.handleHealthz))
 	mux.HandleFunc("/statsz", s.get(s.handleStatsz))
+	mux.HandleFunc("/v1/statsz", s.get(s.handleStatsz))
 	return mux
+}
+
+// lookupGPU resolves an architecture name through a per-server cache,
+// so every request naming the same model shares one *arch.GPU instance.
+// Sharing the pointer keeps the engine's per-model digest memo hot (a
+// fresh model per request would re-hash its constant table every time);
+// the resolved models are treated as immutable.
+func (s *server) lookupGPU(name string) (*arch.GPU, error) {
+	if g, ok := s.gpus.Load(name); ok {
+		return g.(*arch.GPU), nil
+	}
+	g, err := gpa.LookupGPU(name)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := s.gpus.LoadOrStore(name, g)
+	return actual.(*arch.GPU), nil
 }
 
 // kernelRequest is the JSON body shared by every kernel-submitting
@@ -83,8 +105,9 @@ type kernelRequest struct {
 	TimeoutMS int `json:"timeoutMs,omitempty"`
 }
 
-// job converts the request to an engine job.
-func (r *kernelRequest) job() (gpa.Job, error) {
+// job converts the request to an engine job; s resolves architecture
+// names through the server's shared model cache.
+func (r *kernelRequest) job(s *server) (gpa.Job, error) {
 	var job gpa.Job
 	kind, err := service.ParseKind(r.Kind)
 	if err != nil {
@@ -105,7 +128,7 @@ func (r *kernelRequest) job() (gpa.Job, error) {
 		opts.SimSMs = 1 // the CLI's default: one detailed SM
 	}
 	if r.Arch != "" {
-		g, err := gpa.LookupGPU(r.Arch)
+		g, err := s.lookupGPU(r.Arch)
 		if err != nil {
 			return job, err
 		}
@@ -281,7 +304,7 @@ func (s *server) handleOne(w http.ResponseWriter, r *http.Request, kind gpa.JobK
 		return
 	}
 	req.Kind = kind.String()
-	job, err := req.job()
+	job, err := req.job(s)
 	if err != nil {
 		writeRequestError(w, err)
 		return
@@ -324,7 +347,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	live := make([]int, 0, len(req.Requests))
 	liveJobs := make([]gpa.Job, 0, len(req.Requests))
 	for i := range req.Requests {
-		job, err := req.Requests[i].job()
+		job, err := req.Requests[i].job(s)
 		if err != nil {
 			_, body := requestErrorBody(err)
 			out.Results[i] = body
@@ -380,7 +403,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		gpus = append(gpus, g)
 	}
 	req.Arch = "" // per-arch options are set by Sweep
-	job, err := req.job()
+	job, err := req.job(s)
 	if err != nil {
 		writeRequestError(w, err)
 		return

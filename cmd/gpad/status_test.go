@@ -9,8 +9,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -127,5 +129,47 @@ func TestQueueFullMapsTo503(t *testing.T) {
 	}
 	if st := eng.Stats(); st.Shed != 1 {
 		t.Errorf("stats.Shed = %d, want 1 (%+v)", st.Shed, st)
+	}
+}
+
+// TestStatszPoolCounters pins the serving-efficiency surface: /v1/statsz
+// (the /statsz alias included) reports the simulator's state-arena pool
+// counters and the engine's allocations-per-job rate, so a production
+// gpad can alert on warm-path allocation regressions.
+func TestStatszPoolCounters(t *testing.T) {
+	ts := newTestServer(t)
+	body := map[string]any{"asm": testKernelSrc, "gridX": 4, "blockX": 64}
+	for i := 0; i < 2; i++ {
+		resp, out := postJSON(t, ts.URL+"/v1/advise", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("advise %d: status %d: %s", i, resp.StatusCode, out)
+		}
+	}
+	for _, path := range []string{"/statsz", "/v1/statsz"} {
+		var st statszResponse
+		getJSON(t, ts.URL+path, &st)
+		if st.Hits != 1 || st.Runs != 1 {
+			t.Errorf("%s: hits=%d runs=%d after 1 cold + 1 warm advise, want 1/1", path, st.Hits, st.Runs)
+		}
+		// Pool counters are process-wide; this server's run must have
+		// moved them past zero.
+		if st.PoolGets <= 0 {
+			t.Errorf("%s: poolGets = %d, want > 0", path, st.PoolGets)
+		}
+		if st.AllocsPerJob <= 0 {
+			t.Errorf("%s: allocsPerJob = %v, want > 0 (cold runs allocate)", path, st.AllocsPerJob)
+		}
+	}
+	// The raw JSON must carry the documented field names.
+	resp, err := http.Get(ts.URL + "/v1/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	for _, field := range []string{`"poolGets"`, `"poolHits"`, `"allocsPerJob"`} {
+		if !strings.Contains(string(raw), field) {
+			t.Errorf("/v1/statsz JSON missing %s: %s", field, raw)
+		}
 	}
 }

@@ -134,22 +134,29 @@ type JobResult struct {
 	Err error
 }
 
-// request converts a job to a service request.
-func (j Job) request() (*service.Request, error) {
+// request converts a job to a service request. The request is returned
+// by value: on the warm cache-hit path it never escapes the caller's
+// stack (the service copies it only when starting a new flight).
+func (j Job) request() (service.Request, error) {
 	if j.Kernel == nil {
-		return nil, fmt.Errorf("gpa: %w: engine job without kernel", ErrBadKernel)
+		return service.Request{}, fmt.Errorf("gpa: %w: engine job without kernel", ErrBadKernel)
 	}
 	// service.Request.normalized owns the engine's option defaults,
 	// including the Parallelism-zero-means-1 rule.
 	o := normalize(j.Options)
 	prog, err := j.Kernel.program()
 	if err != nil {
-		return nil, err
+		return service.Request{}, err
 	}
-	return &service.Request{
+	// A module-hash failure is not fatal here: a zero hash makes the
+	// service re-pack the module inside Digest and surface the error
+	// through the same path it always has.
+	modHash, _ := j.Kernel.moduleHash()
+	return service.Request{
 		Kind:         j.Kind,
 		Module:       j.Kernel.Module,
 		Prog:         prog,
+		ModuleHash:   modHash,
 		Launch:       j.Kernel.Launch.config(),
 		GPU:          o.GPU,
 		SamplePeriod: o.SamplePeriod,
@@ -176,7 +183,11 @@ func resultOf(resp *service.Response, err error) JobResult {
 		Key:           resp.Key,
 	}
 	if resp.Advice != nil {
-		res.Report = &Report{Advice: resp.Advice, Profile: resp.Profile, Context: resp.Context}
+		// The Report wrapper is memoized per underlying response, so a
+		// warm cache hit re-serves the same *Report without allocating.
+		res.Report = resp.Memo(func() any {
+			return &Report{Advice: resp.Advice, Profile: resp.Profile, Context: resp.Context}
+		}).(*Report)
 	}
 	return res
 }
@@ -188,7 +199,7 @@ func (e *Engine) Do(ctx context.Context, j Job) JobResult {
 	if err != nil {
 		return JobResult{Err: err}
 	}
-	return resultOf(e.svc.Do(ctx, req))
+	return resultOf(e.svc.Do(ctx, &req))
 }
 
 // DoAll resolves jobs concurrently; the worker pool bounds how many
@@ -196,7 +207,6 @@ func (e *Engine) Do(ctx context.Context, j Job) JobResult {
 // Results are positionally aligned with jobs. A canceled ctx abandons
 // every unfinished job (finished slots keep their results).
 func (e *Engine) DoAll(ctx context.Context, jobs []Job) []JobResult {
-	reqs := make([]*service.Request, len(jobs))
 	results := make([]JobResult, len(jobs))
 	var live []*service.Request
 	liveIdx := make([]int, 0, len(jobs))
@@ -206,8 +216,7 @@ func (e *Engine) DoAll(ctx context.Context, jobs []Job) []JobResult {
 			results[i] = JobResult{Err: err}
 			continue
 		}
-		reqs[i] = req
-		live = append(live, req)
+		live = append(live, &req)
 		liveIdx = append(liveIdx, i)
 	}
 	resps, errs := e.svc.DoAll(ctx, live)

@@ -49,6 +49,7 @@ package gpa
 
 import (
 	"context"
+	"crypto/sha256"
 	"fmt"
 	"io"
 	"strings"
@@ -144,6 +145,13 @@ type Kernel struct {
 	prog     *gpusim.Program
 	progErr  error
 	progOnce sync.Once
+
+	// modHash caches the SHA-256 of the module's canonical cubin
+	// encoding, feeding the engine's content-addressed cache key so a
+	// warm engine never re-packs the module per job.
+	modHash     [32]byte
+	modHashErr  error
+	modHashOnce sync.Once
 }
 
 // program returns the kernel's flattened program, loading it on first
@@ -153,6 +161,20 @@ func (k *Kernel) program() (*gpusim.Program, error) {
 		k.prog, k.progErr = gpusim.Load(k.Module)
 	})
 	return k.prog, k.progErr
+}
+
+// moduleHash returns the SHA-256 of the module's canonical cubin
+// encoding, computing it on first use.
+func (k *Kernel) moduleHash() ([32]byte, error) {
+	k.modHashOnce.Do(func() {
+		blob, err := cubin.Pack(k.Module)
+		if err != nil {
+			k.modHashErr = err
+			return
+		}
+		k.modHash = sha256.Sum256(blob)
+	})
+	return k.modHash, k.modHashErr
 }
 
 // LoadKernelAsm assembles SASS text into a kernel. Assembly failures
@@ -239,7 +261,9 @@ func (k *Kernel) Measure(ctx context.Context, opts *Options) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return res.Cycles, nil
+	cycles := res.Cycles
+	prog.Recycle(res)
+	return cycles, nil
 }
 
 // Report is a ranked advice report.
@@ -312,13 +336,20 @@ func (k *Kernel) Structure() (*structure.Structure, error) {
 	return structure.Analyze(k.Module)
 }
 
+// defaultGPU is the shared default architecture model: one immutable
+// instance, so the nil-GPU fast path neither allocates a fresh model
+// per call nor defeats the engine's per-model digest memo. Nothing in
+// the pipeline mutates an Options.GPU; callers wanting a model to
+// tweak get their own copy from V100()/LookupGPU.
+var defaultGPU = arch.VoltaV100()
+
 func normalize(opts *Options) Options {
 	var o Options
 	if opts != nil {
 		o = *opts
 	}
 	if o.GPU == nil {
-		o.GPU = arch.VoltaV100()
+		o.GPU = defaultGPU
 	}
 	return o
 }

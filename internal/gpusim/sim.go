@@ -13,7 +13,9 @@ import (
 // Dim3 is a CUDA-style launch dimension.
 type Dim3 struct{ X, Y, Z int }
 
-// Count returns the total element count (zero components count as one).
+// Count returns the total element count (zero components count as one,
+// as CUDA's dim3 does). Negative components are invalid; Run rejects
+// them with ErrBadKernel before Count is consulted.
 func (d Dim3) Count() int {
 	c := 1
 	for _, v := range []int{d.X, d.Y, d.Z} {
@@ -23,6 +25,9 @@ func (d Dim3) Count() int {
 	}
 	return c
 }
+
+// valid reports whether every component is non-negative.
+func (d Dim3) valid() bool { return d.X >= 0 && d.Y >= 0 && d.Z >= 0 }
 
 // Dim returns a 1-D Dim3.
 func Dim(x int) Dim3 { return Dim3{X: x} }
@@ -55,13 +60,22 @@ type Config struct {
 	// MaxCycles aborts runaway simulations (0 means 50M).
 	MaxCycles int64
 	// Parallelism bounds how many SMs are simulated concurrently
-	// (0 means GOMAXPROCS). Each SM is independent, so results and the
+	// (0 means GOMAXPROCS; values above GOMAXPROCS are capped to it —
+	// spawning more SM goroutines than cores only adds scheduling and
+	// buffering overhead). Each SM is independent, so results and the
 	// ordered sample stream delivered to Sink are identical for every
 	// parallelism level. With Parallelism > 1 the Workload must be safe
 	// for concurrent use: Spec binding is read-only, but the callback
 	// closures a spec carries are invoked concurrently too and must not
 	// mutate shared state. Set 1 for the single-goroutine contract.
 	Parallelism int
+
+	// stepEveryCycle is a test hook: it disables the event-driven cycle
+	// skip and the warp-bound cache, advancing one cycle at a time and
+	// re-evaluating every warp each cycle. It exists as the oracle the
+	// event-skip loop is checked against (results must be bit-identical)
+	// and is deliberately unexported.
+	stepEveryCycle bool
 }
 
 // Result summarizes one simulated launch.
@@ -111,6 +125,10 @@ func Run(ctx context.Context, p *Program, launch LaunchConfig, wl Workload, cfg 
 	if err != nil {
 		return nil, fmt.Errorf("gpusim: %w: %w", apierr.ErrBadKernel, err)
 	}
+	if !launch.Grid.valid() || !launch.Block.valid() {
+		return nil, fmt.Errorf("gpusim: %w: negative launch dimension (grid %+v, block %+v)",
+			apierr.ErrBadKernel, launch.Grid, launch.Block)
+	}
 	threads := launch.Block.Count()
 	occ, err := cfg.GPU.ComputeOccupancy(threads, launch.RegsPerThread, launch.SharedMemPerBlock)
 	if err != nil {
@@ -139,14 +157,12 @@ func Run(ctx context.Context, p *Program, launch LaunchConfig, wl Workload, cfg 
 		maxCycles = 50_000_000
 	}
 
-	res := &Result{
-		IssuedPerPC:     make([]int64, len(p.Instrs)),
-		Occupancy:       occ,
-		ActiveSMs:       activeSMs,
-		SimulatedSMs:    simSMs,
-		BlocksLaunched:  blocks,
-		ThreadsPerBlock: threads,
-	}
+	res := p.getResult()
+	res.Occupancy = occ
+	res.ActiveSMs = activeSMs
+	res.SimulatedSMs = simSMs
+	res.BlocksLaunched = blocks
+	res.ThreadsPerBlock = threads
 	warpsPerBlock := (threads + cfg.GPU.WarpSize - 1) / cfg.GPU.WarpSize
 	residentBlocks := (blocks + cfg.GPU.NumSMs - 1) / cfg.GPU.NumSMs
 	if residentBlocks > occ.BlocksPerSM {
@@ -157,24 +173,24 @@ func Run(ctx context.Context, p *Program, launch LaunchConfig, wl Workload, cfg 
 	if res.WarpsPerScheduler < 1 {
 		res.WarpsPerScheduler = 1
 	}
-	rt := buildRunTables(p, wl, cfg.GPU)
-	parallelism := cfg.Parallelism
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
-	if parallelism > simSMs {
-		parallelism = simSMs
-	}
+	// The arena holds every piece of per-run mutable state (see
+	// pool.go); it is recycled when Run returns, on success and error
+	// alike — nothing that escapes Run aliases it.
+	ar := p.getArena()
+	defer p.putArena(ar)
+	rt := ar.buildRunTables(p, wl, cfg.GPU)
+	parallelism := effectiveParallelism(cfg.Parallelism, simSMs)
 
 	if parallelism <= 1 {
 		// Sequential mode: SMs run in order and record straight into the
-		// configured sink.
+		// configured sink, all reusing one SM shell.
+		ar.grow(1)
 		for smID := 0; smID < simSMs; smID++ {
-			myBlocks := blocksForSM(smID, blocks, cfg.GPU.NumSMs)
-			if len(myBlocks) == 0 {
+			ar.blocks[0] = blocksForSM(ar.blocks[0], smID, blocks, cfg.GPU.NumSMs)
+			if len(ar.blocks[0]) == 0 {
 				continue
 			}
-			sm := newSM(smID, p, rt, wl, cfg, launch, occ, entry, myBlocks, warpsPerBlock, cfg.Sink)
+			sm := newSM(ar.sms[0], smID, p, rt, wl, cfg, launch, occ, entry, ar.blocks[0], warpsPerBlock, cfg.Sink)
 			cycles, err := sm.run(ctx, maxCycles)
 			if err != nil {
 				return nil, err
@@ -188,26 +204,21 @@ func Run(ctx context.Context, p *Program, launch LaunchConfig, wl Workload, cfg 
 	// records into a private buffered sink; after the join the buffers
 	// are drained in SM order, so the stream delivered to cfg.Sink is
 	// byte-identical to sequential mode.
-	type smOutcome struct {
-		cycles  int64
-		issued  []int64
-		samples []Sample
-		err     error
-	}
-	outcomes := make([]smOutcome, simSMs)
+	ar.grow(simSMs)
 	par.Do(simSMs, parallelism, func(smID int) {
-		myBlocks := blocksForSM(smID, blocks, cfg.GPU.NumSMs)
+		ar.blocks[smID] = blocksForSM(ar.blocks[smID], smID, blocks, cfg.GPU.NumSMs)
+		myBlocks := ar.blocks[smID]
 		if len(myBlocks) == 0 {
 			return
 		}
-		out := &outcomes[smID]
+		out := &ar.outcomes[smID]
 		var sink SampleSink
 		var buf *sliceSink
 		if cfg.Sink != nil {
-			buf = &sliceSink{}
+			buf = &ar.sinks[smID]
 			sink = buf
 		}
-		sm := newSM(smID, p, rt, wl, cfg, launch, occ, entry, myBlocks, warpsPerBlock, sink)
+		sm := newSM(ar.sms[smID], smID, p, rt, wl, cfg, launch, occ, entry, myBlocks, warpsPerBlock, sink)
 		out.cycles, out.err = sm.run(ctx, maxCycles)
 		out.issued = sm.issuedPerPC
 		if buf != nil {
@@ -215,7 +226,7 @@ func Run(ctx context.Context, p *Program, launch LaunchConfig, wl Workload, cfg 
 		}
 	})
 	for smID := 0; smID < simSMs; smID++ {
-		out := &outcomes[smID]
+		out := &ar.outcomes[smID]
 		// Replay the SM's stream before checking its error: a failing
 		// SM records its partial stream in sequential mode too, and SMs
 		// after the first failure are dropped entirely, exactly as if
@@ -237,14 +248,28 @@ func Run(ctx context.Context, p *Program, launch LaunchConfig, wl Workload, cfg 
 	return res, nil
 }
 
-// blocksForSM lists the grid blocks SM smID executes: blocks smID,
-// smID+NumSMs, smID+2*NumSMs, ...
-func blocksForSM(smID, blocks, numSMs int) []int {
-	if smID >= blocks {
-		return nil
+// effectiveParallelism resolves Config.Parallelism: 0 means GOMAXPROCS,
+// anything above GOMAXPROCS is capped to it (more SM goroutines than
+// cores pay fan-out and buffering overhead for no concurrency — BENCH_1
+// and BENCH_2 measured parallel mode slower than sequential on one
+// CPU), and the SM count bounds it from above. Results are identical at
+// every level, so the cap never changes output.
+func effectiveParallelism(requested, simSMs int) int {
+	p := requested
+	if mp := runtime.GOMAXPROCS(0); p <= 0 || p > mp {
+		p = mp
 	}
-	n := (blocks - smID + numSMs - 1) / numSMs
-	out := make([]int, 0, n)
+	if p > simSMs {
+		p = simSMs
+	}
+	return p
+}
+
+// blocksForSM lists the grid blocks SM smID executes — blocks smID,
+// smID+NumSMs, smID+2*NumSMs, ... — appending into buf's backing
+// storage.
+func blocksForSM(buf []int, smID, blocks, numSMs int) []int {
+	out := buf[:0]
 	for b := smID; b < blocks; b += numSMs {
 		out = append(out, b)
 	}

@@ -10,8 +10,18 @@ import (
 	"gpa/internal/sass"
 )
 
-// farFuture is the sentinel "no event scheduled" cycle.
+// farFuture is the sentinel "no event scheduled" cycle: the warp (or
+// SM) cannot make progress until an explicit wake — barrier release or
+// block rotation — resets it.
 const farFuture = int64(1<<62 - 1)
+
+// boundMSHR is the sentinel bound of a warp stalled on a full MSHR
+// pool (ReasonMemoryThrottle). It is distinct from farFuture because
+// the wake source differs: an MSHR release (tracked by sm.mshrGen)
+// can make such a warp ready, while every other cached bound is a pure
+// time bound no release can move. Both sentinels compare above any
+// reachable cycle.
+const boundMSHR = farFuture - 1
 
 type warpState struct {
 	ctx        WarpCtx
@@ -29,15 +39,25 @@ type warpState struct {
 	// instructions, indexed by flat PC (flattened from a map: the
 	// per-issue lookup is on the hot path).
 	visits []int32
-	// bound caches the warp's earliest possible issue cycle, valid while
-	// boundGen matches sm.wakeGen (a warp's gates change only through
-	// its own issue or an asynchronous wake, both of which refresh or
-	// invalidate the cache).
-	bound    int64
-	boundGen uint64
 	// lastIssuedPC / lastIssueCycle feed active "selected" samples.
 	lastIssuedPC   int
 	lastIssueCycle int64
+}
+
+// warpBound caches a lower bound on one warp's earliest possible issue
+// cycle. A warp's time gates (fetchReady, nextIssue, barReady) change
+// only through its own issue, which refreshes the cache, so a time
+// bound stays valid until it expires; shared gates (unitBusy) only
+// grow, which keeps the cached value a lower bound. The sentinels need
+// an external wake instead: boundMSHR is valid while gen matches
+// sm.mshrGen (MSHR releases expire it), and farFuture is reset to 0
+// directly by the event that wakes the warp (barrier release, block
+// rotation). Bounds live in a dense array parallel to sm.warps (not in
+// warpState) so the scheduler scan's cache-valid fast path touches 16
+// bytes per warp instead of the whole warp record.
+type warpBound struct {
+	bound int64
+	gen   uint64
 }
 
 type blockSlot struct {
@@ -48,15 +68,26 @@ type blockSlot struct {
 }
 
 type scheduler struct {
-	warps     []int // indices into sm.warps
-	rotate    int   // LRR issue pointer
+	warps []int // indices into sm.warps
+	// bounds[i] is warps[i]'s cached issue-cycle lower bound (see
+	// warpBound): contiguous per scheduler so the scan's cache-valid
+	// fast path is a sequential walk. For warp index w the entry lives
+	// at scheduler w%NumScheds, slot w/NumScheds (warps are dealt
+	// round-robin in index order).
+	bounds []warpBound
+	rotate int // LRR issue pointer
 	samplePtr int   // round-robin sampled-warp pointer
 	issuedNow bool  // issued at the current cycle
 	// nextReady is a lower bound on the next cycle any resident warp
-	// could issue, letting the run loop skip fruitless full-warp scans.
-	// 0 forces a scan; events that can wake warps asynchronously (MSHR
-	// release, barrier release, block rotation) reset it.
+	// could issue, letting the run loop skip fruitless full-warp scans
+	// and feed the whole-SM cycle skip. 0 forces a scan; events that
+	// can wake this scheduler's warps asynchronously (MSHR release when
+	// throttled, barrier release, block rotation) reset it.
 	nextReady int64
+	// throttled records whether the last scan saw a warp stalled on the
+	// MSHR pool; only such schedulers need a rescan when a release
+	// frees slots.
+	throttled bool
 	// unitBusy models per-partition execution-unit throughput: on
 	// Volta-family SMs (Volta, Turing, Ampere) each scheduler owns its
 	// FP32/INT/FP64/SFU pipes; the per-class costs come from
@@ -78,31 +109,6 @@ type runTables struct {
 	issueCost []int64 // per PC: scheduler dispatch occupancy
 	baseLat   []int64 // per PC: default variable-latency base (0 = fixed)
 	tx        []int32 // per PC: max(1, workload transactions)
-}
-
-func buildRunTables(p *Program, wl Workload, g *arch.GPU) *runTables {
-	n := len(p.Instrs)
-	rt := &runTables{
-		issueCost: make([]int64, n),
-		baseLat:   make([]int64, n),
-		tx:        make([]int32, n),
-	}
-	for i := range p.Instrs {
-		in := &p.Instrs[i]
-		rt.issueCost[i] = int64(g.IssueCost(in.Opcode))
-		rt.tx[i] = 1
-		// Transactions is only defined for memory instructions; the
-		// simulator also consults it for other variable-latency ops
-		// (their issue path always has).
-		if p.meta[i].flags&(metaMemory|metaVarLat) != 0 {
-			rt.tx[i] = int32(max(1, wl.Transactions(i)))
-		}
-		if p.meta[i].flags&metaVarLat == 0 {
-			continue
-		}
-		rt.baseLat[i] = int64(g.VariableBaseLatency(in.Opcode))
-	}
-	return rt
 }
 
 type sm struct {
@@ -145,47 +151,60 @@ type sm struct {
 	warpsPerBlk int
 	tick        int64 // sampling tick counter
 	sink        SampleSink
-	// wakeGen increments on every wakeAll, letting the scheduler scan
-	// detect that an issue's side effects (barrier release, block
-	// rotation) invalidated bounds computed earlier in the same scan.
-	wakeGen uint64
+	// wakeSeq increments on every explicit wake (barrier release, block
+	// rotation), letting the scheduler scan detect that an issue's side
+	// effects invalidated the nextReady bound it was accumulating.
+	wakeSeq uint64
+	// mshrGen increments whenever processReleases frees MSHR slots;
+	// cached boundMSHR warp bounds are valid only for the generation
+	// they were computed in.
+	mshrGen uint64
+	// lastProgress is the cycle of the most recent issue, reported by
+	// the livelock guard.
+	lastProgress int64
 }
 
-func newSM(id int, p *Program, rt *runTables, wl Workload, cfg Config, launch LaunchConfig,
+// newSM (re)initializes an SM shell for one run. The shell comes from
+// the program's run-state arena: every slice it carries is resized in
+// place and reused, so a warm shell initializes without heap
+// allocations (see pool.go for the recycling contract).
+func newSM(shell *sm, id int, p *Program, rt *runTables, wl Workload, cfg Config, launch LaunchConfig,
 	occ arch.Occupancy, entry int, blocks []int, warpsPerBlock int, sink SampleSink) *sm {
-	s := &sm{
+	s := shell
+	lines := (len(p.Instrs) + cfg.GPU.ICacheLineInstrs - 1) / cfg.GPU.ICacheLineInstrs
+	*s = sm{
 		id: id, p: p, meta: p.meta, rt: rt, wl: wl, gpu: cfg.GPU, cfg: cfg, launch: launch,
 		entry:       entry,
+		scheds:      resetScheds(s.scheds, cfg.GPU.SchedulersPerSM),
+		warps:       s.warps[:0],
+		slots:       s.slots[:0],
 		blockQueue:  blocks,
 		mshrFree:    cfg.GPU.MSHRsPerSM,
+		releases:    s.releases[:0],
 		minRelease:  farFuture,
 		icacheLine:  cfg.GPU.ICacheLineInstrs,
-		icacheUse:   make([]int64, (len(p.Instrs)+cfg.GPU.ICacheLineInstrs-1)/cfg.GPU.ICacheLineInstrs),
+		icacheUse:   resetICache(s.icacheUse, lines),
 		icacheCap:   max(1, cfg.GPU.ICacheInstrs/cfg.GPU.ICacheLineInstrs),
-		issuedPerPC: make([]int64, len(p.Instrs)),
+		issuedPerPC: resizeInt64(s.issuedPerPC, len(p.Instrs)),
 		warpsPerBlk: warpsPerBlock,
 		sink:        sink,
 	}
-	for i := range s.icacheUse {
-		s.icacheUse[i] = -1
-	}
-	s.scheds = make([]scheduler, cfg.GPU.SchedulersPerSM)
 	resident := occ.BlocksPerSM
 	if resident > len(blocks) {
 		resident = len(blocks)
 	}
 	for slot := 0; slot < resident; slot++ {
-		s.slots = append(s.slots, blockSlot{})
+		s.slots = growSlot(s.slots)
 		s.startBlock(slot, 0)
 	}
 	return s
 }
 
-// wakeAll forces every scheduler to rescan its warps: some asynchronous
-// event (MSHR release, barrier release, block rotation) may have made a
-// warp ready earlier than the cached nextReady bounds assumed.
+// wakeAll forces every scheduler to rescan its warps; block rotation
+// uses it because a rotated-in block's fresh warps are spread over all
+// schedulers.
 func (s *sm) wakeAll() {
-	s.wakeGen++
+	s.wakeSeq++
 	for i := range s.scheds {
 		s.scheds[i].nextReady = 0
 	}
@@ -204,17 +223,19 @@ func (s *sm) startBlock(slot int, now int64) bool {
 	bs.arrived = 0
 	bs.aliveCount = s.warpsPerBlk
 	bs.done = false
-	if bs.warps == nil {
+	if len(bs.warps) == 0 {
 		for wi := 0; wi < s.warpsPerBlk; wi++ {
 			widx := len(s.warps)
 			bs.warps = append(bs.warps, widx)
-			s.warps = append(s.warps, warpState{slot: slot})
+			s.warps = growWarp(s.warps)
 			// Warps are distributed round-robin over schedulers.
 			sc := widx % len(s.scheds)
 			s.scheds[sc].warps = append(s.scheds[sc].warps, widx)
+			s.scheds[sc].bounds = append(s.scheds[sc].bounds, warpBound{})
 		}
 	}
 	for wi, widx := range bs.warps {
+		*s.boundOf(widx) = warpBound{}
 		w := &s.warps[widx]
 		visits := w.visits
 		if visits == nil {
@@ -233,10 +254,27 @@ func (s *sm) startBlock(slot int, now int64) bool {
 			pc:        s.entry,
 			nextIssue: now + int64(s.gpu.BlockLaunchOverhead),
 			visits:    visits,
+			callStack: w.callStack[:0],
 		}
 	}
 	s.wakeAll()
 	return true
+}
+
+// growWarp extends warps by one entry, reusing a recycled entry's
+// visits and callStack backing when spare capacity exists.
+func growWarp(warps []warpState) []warpState {
+	if n := len(warps); n < cap(warps) {
+		return warps[:n+1]
+	}
+	return append(warps, warpState{})
+}
+
+// boundOf locates warp widx's cached bound inside its scheduler's
+// dense bound array (round-robin deal: scheduler widx%N, slot widx/N).
+func (s *sm) boundOf(widx int) *warpBound {
+	n := len(s.scheds)
+	return &s.scheds[widx%n].bounds[widx/n]
 }
 
 func (s *sm) allDone() bool {
@@ -294,7 +332,7 @@ func (s *sm) ready(sc *scheduler, w *warpState, now int64) (bool, StallReason, i
 		return false, w.issueStall, bound
 	}
 	if m.flags&metaNeedMSHR != 0 && s.mshrFree < int(s.rt.tx[w.pc]) {
-		return false, ReasonMemoryThrottle, farFuture
+		return false, ReasonMemoryThrottle, boundMSHR
 	}
 	if sc.unitBusy[m.class] > now {
 		return false, ReasonPipeBusy, bound
@@ -491,17 +529,26 @@ func (s *sm) exitWarp(w *warpState) {
 	}
 }
 
+// maybeReleaseBarrier wakes only the block's own warps: a barrier
+// release cannot change any other warp's readiness, so their cached
+// bounds stay valid.
 func (s *sm) maybeReleaseBarrier(slot *blockSlot) {
 	if slot.aliveCount > 0 && slot.arrived >= slot.aliveCount {
 		for _, widx := range slot.warps {
 			s.warps[widx].barWait = false
+			s.boundOf(widx).bound = 0
+			s.scheds[widx%len(s.scheds)].nextReady = 0
 		}
 		slot.arrived = 0
-		s.wakeAll()
+		s.wakeSeq++
 	}
 }
 
 // processReleases returns MSHR slots whose transactions completed.
+// Freed slots can only wake warps stalled on ReasonMemoryThrottle:
+// their cached boundMSHR entries expire (mshrGen) and their throttled
+// schedulers rescan. Every other cached bound is a pure time bound a
+// release cannot move, so it survives.
 func (s *sm) processReleases(now int64) {
 	kept := s.releases[:0]
 	next := farFuture
@@ -520,44 +567,13 @@ func (s *sm) processReleases(now int64) {
 	s.releases = kept
 	s.minRelease = next
 	if released {
-		s.wakeAll()
-	}
-}
-
-// nextEvent returns the earliest future cycle at which any warp might
-// become ready (or an MSHR frees), for idle-cycle skipping.
-func (s *sm) nextEvent(now int64) int64 {
-	next := farFuture
-	consider := func(c int64) {
-		if c > now && c < next {
-			next = c
-		}
-	}
-	for i := range s.warps {
-		w := &s.warps[i]
-		if w.exited {
-			continue
-		}
-		consider(w.nextIssue)
-		consider(w.fetchReady)
-		if !w.barWait {
-			for wm := s.meta[w.pc].waitMask; wm != 0; wm &= wm - 1 {
-				consider(w.barReady[bits.TrailingZeros8(wm)])
+		s.mshrGen++
+		for si := range s.scheds {
+			if s.scheds[si].throttled {
+				s.scheds[si].nextReady = 0
 			}
 		}
 	}
-	for _, r := range s.releases {
-		consider(r.cycle)
-	}
-	for si := range s.scheds {
-		for c := range s.scheds[si].unitBusy {
-			consider(s.scheds[si].unitBusy[c])
-		}
-	}
-	if next == farFuture {
-		return now + 1
-	}
-	return next
 }
 
 // sampleTick records one PC sample: the sampling unit cycles round-robin
@@ -611,16 +627,28 @@ func (s *sm) sampleTick(now int64) {
 // run drives the SM to completion and returns the final cycle.
 // cancelCheckInterval is how many run-loop iterations pass between
 // context polls. Each iteration advances at least one cycle (often
-// many, via the idle fast-forward), so cancellation lands within a
+// many, via the event-driven skip), so cancellation lands within a
 // bounded, small slice of simulated work while the per-iteration cost
 // stays one counter decrement on the hot path.
 const cancelCheckInterval = 4096
 
+// run's loop is event-driven: after scanning the schedulers whose
+// nextReady cursors are due, it jumps straight to the next interesting
+// cycle — the minimum over the per-scheduler cursors and the earliest
+// pending MSHR release. Fetch completions, scoreboard-barrier expiries,
+// and pipe drains are folded into the cursors (a warp's cached bound is
+// the max of its gates); barrier releases and block rotations reset the
+// affected cursors at the issue that causes them, so they can never be
+// skipped over. Sample ticks fire on the way through a jump: the
+// skipped span contains no issue and no state change, so each tick
+// observes exactly the state a cycle-by-cycle walk would have seen
+// (Config.stepEveryCycle retains that naive walk as a test oracle).
 func (s *sm) run(ctx context.Context, maxCycles int64) (int64, error) {
 	now := int64(0)
 	period := int64(s.cfg.SamplePeriod)
 	nextTick := period
-	lastProgress := int64(0)
+	step := s.cfg.stepEveryCycle
+	s.lastProgress = 0
 	checkIn := cancelCheckInterval
 	for !s.allDone() {
 		if checkIn--; checkIn <= 0 {
@@ -631,81 +659,51 @@ func (s *sm) run(ctx context.Context, maxCycles int64) (int64, error) {
 		}
 		if now > maxCycles {
 			return 0, fmt.Errorf("gpusim: %w: SM %d exceeded %d cycles (possible livelock; last progress at %d)",
-				apierr.ErrSimLimit, s.id, maxCycles, lastProgress)
+				apierr.ErrSimLimit, s.id, maxCycles, s.lastProgress)
 		}
 		if s.minRelease <= now {
 			s.processReleases(now)
 		}
-		anyIssued := false
 		for si := range s.scheds {
 			sc := &s.scheds[si]
 			sc.issuedNow = false
-			if sc.nextReady > now {
+			if !step && sc.nextReady > now {
 				continue
 			}
-			// Scan every warp in LRR order: issue the first ready one,
-			// then keep scanning for bounds only, so the cursor covers a
-			// whole issue epoch instead of forcing a rescan every cycle.
-			n := len(sc.warps)
-			bound := farFuture
-			gen := s.wakeGen
-			start := sc.rotate
-			for i := 0; i < n; i++ {
-				slot := start + i
-				if slot >= n {
-					slot -= n
-				}
-				widx := sc.warps[slot]
-				w := &s.warps[widx]
-				var wb int64
-				if w.boundGen == s.wakeGen && w.bound > now {
-					// Cached bound proves the warp cannot issue yet.
-					wb = w.bound
-				} else {
-					ok, _, b := s.ready(sc, w, now)
-					if ok && !sc.issuedNow {
-						s.issue(sc, widx, now)
-						sc.issuedNow = true
-						anyIssued = true
-						lastProgress = now
-						// The LRR pointer restarts after the issuer.
-						sc.rotate = slot + 1
-						if sc.rotate >= n {
-							sc.rotate = 0
-						}
-						// Post-issue the warp is stalled at least one
-						// cycle; its refreshed gates bound its next
-						// issue.
-						_, _, b = s.ready(sc, w, now)
-					}
-					w.bound, w.boundGen = b, s.wakeGen
-					wb = b
-				}
-				if wb < bound {
-					bound = wb
-				}
-			}
-			if gen != s.wakeGen {
-				// An issue released a barrier or rotated a block; bounds
-				// gathered before that are stale. Rescan next cycle.
-				sc.nextReady = 0
-			} else {
-				sc.nextReady = bound
-			}
+			s.scan(sc, now, step)
 		}
 		if period > 0 && now >= nextTick {
 			s.sampleTick(now)
 			nextTick += period
 		}
-		if anyIssued {
+		if step || s.allDone() {
+			// Stepper mode walks cycle by cycle; a completed SM (the
+			// pass above issued its last EXIT) finishes one cycle after
+			// its final issue — never at a later stale event such as an
+			// exited warp's still-pending MSHR release.
 			now++
 			continue
 		}
-		var next int64
-		if period > 0 {
-			// Idle: skip to the next event, firing sample ticks on the
-			// way (they all observe the same stalled state).
-			next = s.nextEvent(now)
+		// Whole-SM skip: the next cycle anything can happen is the
+		// earliest scheduler cursor or MSHR release.
+		next := s.minRelease
+		for si := range s.scheds {
+			if nr := s.scheds[si].nextReady; nr < next {
+				next = nr
+			}
+		}
+		if next >= boundMSHR {
+			// No future event can wake this SM (deadlock or a throttle
+			// no release will clear): jump straight to the livelock
+			// guard instead of grinding one cycle at a time.
+			next = maxCycles + 1
+		}
+		if next <= now {
+			next = now + 1
+		}
+		if period > 0 && nextTick < next {
+			// Fire the sample ticks inside the skipped span; they all
+			// observe the same stalled state.
 			for si := range s.scheds {
 				s.scheds[si].issuedNow = false
 			}
@@ -713,26 +711,86 @@ func (s *sm) run(ctx context.Context, maxCycles int64) (int64, error) {
 				s.sampleTick(nextTick)
 				nextTick += period
 			}
-		} else {
-			// No sampling: nothing observes intermediate idle cycles, so
-			// jump straight to the earliest cycle a scheduler could issue
-			// or an MSHR release fires. (With sampling enabled the jump
-			// must follow nextEvent hop by hop so ticks land on the same
-			// cycles.)
-			next = s.minRelease
-			for si := range s.scheds {
-				if nr := s.scheds[si].nextReady; nr < next {
-					next = nr
-				}
-			}
-			if next == farFuture {
-				next = now + 1
-			}
-		}
-		if next <= now {
-			next = now + 1
 		}
 		now = next
 	}
 	return now, nil
+}
+
+// scan walks one scheduler's warps in LRR order: issue the first ready
+// one, then keep scanning for bounds only, so the refreshed nextReady
+// cursor covers a whole issue epoch instead of forcing a rescan every
+// cycle. step disables the warp-bound cache (the cycle-stepper oracle
+// re-evaluates every warp every cycle).
+func (s *sm) scan(sc *scheduler, now int64, step bool) {
+	warps := sc.warps
+	n := len(warps)
+	bound := farFuture
+	seq := s.wakeSeq
+	mshrGen := s.mshrGen
+	sc.throttled = false
+	throttled := false
+	// Walk [start, n) then [0, start): two contiguous ranges instead of
+	// a modular index on every iteration. start is captured up front —
+	// an issue moves sc.rotate mid-scan, but the scan must still cover
+	// every warp exactly once in the original rotation order.
+	start := sc.rotate
+scanLoop:
+	for pass := 0; pass < 2; pass++ {
+		lo, hi := start, n
+		if pass == 1 {
+			lo, hi = 0, start
+		}
+		bounds := sc.bounds[lo:hi:hi]
+		for i, wbe := range bounds {
+			wb := wbe.bound
+			slot := lo + i
+			if step || wb <= now || (wb == boundMSHR && wbe.gen != mshrGen) {
+				widx := warps[slot]
+				w := &s.warps[widx]
+				ok, _, b := s.ready(sc, w, now)
+				if ok && !sc.issuedNow {
+					s.issue(sc, widx, now)
+					sc.issuedNow = true
+					s.lastProgress = now
+					// The LRR pointer restarts after the issuer.
+					sc.rotate = slot + 1
+					if sc.rotate >= n {
+						sc.rotate = 0
+					}
+					// Post-issue the warp is stalled at least one
+					// cycle; its refreshed gates bound its next issue.
+					_, _, b = s.ready(sc, w, now)
+				}
+				bounds[i] = warpBound{bound: b, gen: mshrGen}
+				wb = b
+			}
+			if wb == boundMSHR {
+				throttled = true
+			}
+			if wb < bound {
+				bound = wb
+			}
+			if !step && sc.issuedNow && bound <= now+1 {
+				// Early out: this scheduler has issued and its cursor is
+				// already pinned at (or below) the next cycle, so it
+				// rescans then no matter what the remaining warps'
+				// bounds are. Stopping here skips the bound gathering
+				// for the rest of the list; the unscanned warps keep
+				// their caches (still valid lower bounds), and the
+				// throttled flag only matters for schedulers whose
+				// cursor lets them sleep — which an early-out cursor
+				// never does.
+				break scanLoop
+			}
+		}
+	}
+	sc.throttled = throttled
+	if s.wakeSeq != seq {
+		// An issue released a barrier or rotated a block; bounds
+		// gathered before that are stale. Rescan next cycle.
+		sc.nextReady = 0
+	} else {
+		sc.nextReady = bound
+	}
 }

@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sync"
 
 	"gpa/internal/arch"
 	"gpa/internal/gpusim"
@@ -133,7 +134,13 @@ func CollectProgram(ctx context.Context, prog *gpusim.Program, launch gpusim.Lau
 	if period <= 0 {
 		period = 64
 	}
-	buf := sampling.NewBuffer(opts.BufferCap)
+	// The sample buffer and per-PC aggregate are pure scratch: nothing
+	// in the returned Profile aliases them, so they recycle through a
+	// pool alongside the simulator's per-run arenas (Profile itself is
+	// retained by callers and caches, and is always fresh).
+	sc := getScratch(opts.BufferCap)
+	defer scratchPool.Put(sc)
+	buf := &sc.buf
 	res, err := gpusim.Run(ctx, prog, launch, wl, gpusim.Config{
 		GPU:          opts.GPU,
 		SimSMs:       opts.SimSMs,
@@ -145,8 +152,10 @@ func CollectProgram(ctx context.Context, prog *gpusim.Program, launch gpusim.Lau
 	if err != nil {
 		return nil, fmt.Errorf("profiler: %w", err)
 	}
+	defer prog.Recycle(res)
 	samples := buf.Drain()
-	agg := sampling.AggregateSamples(samples, len(prog.Instrs))
+	agg := &sc.agg
+	sampling.AggregateSamplesInto(agg, samples, len(prog.Instrs))
 
 	gpuKey := arch.KeyOf(opts.GPU)
 	if gpuKey == arch.KeyOf(arch.VoltaV100()) {
@@ -203,6 +212,24 @@ func CollectProgram(ctx context.Context, prog *gpusim.Program, launch gpusim.Lau
 		p.Records = append(p.Records, rec)
 	}
 	return p, nil
+}
+
+// collectScratch is the per-collection scratch state (sample buffer and
+// per-PC aggregate) recycled between profiling runs.
+type collectScratch struct {
+	buf sampling.Buffer
+	agg sampling.Aggregate
+}
+
+var scratchPool sync.Pool // *collectScratch
+
+func getScratch(bufferCap int) *collectScratch {
+	sc, _ := scratchPool.Get().(*collectScratch)
+	if sc == nil {
+		sc = &collectScratch{}
+	}
+	sc.buf.Reset(bufferCap)
+	return sc
 }
 
 // Save writes the profile as JSON.

@@ -40,6 +40,21 @@ func NewBuffer(capPerSM int) *Buffer {
 	return &Buffer{cap: capPerSM}
 }
 
+// Reset clears the buffer for reuse with the given per-SM capacity
+// (0 uses DefaultBufferCap), keeping every backing array so a recycled
+// buffer collects a fresh run without allocating.
+func (b *Buffer) Reset(capPerSM int) {
+	if capPerSM <= 0 {
+		capPerSM = DefaultBufferCap
+	}
+	b.cap = capPerSM
+	for i := range b.perSM {
+		b.perSM[i] = b.perSM[i][:0]
+	}
+	b.host = b.host[:0]
+	b.Flushes = 0
+}
+
 // Record appends a sample to its SM's buffer, flushing all SMs to the
 // host when the buffer fills.
 func (b *Buffer) Record(s gpusim.Sample) {
@@ -138,10 +153,32 @@ func (a *Aggregate) ActiveRatio() float64 {
 	return float64(a.Active) / float64(a.Total)
 }
 
+// Reset clears the aggregate for reuse over a program with numPCs flat
+// instructions, keeping the PerPC backing array when it is large
+// enough.
+func (a *Aggregate) Reset(numPCs int) {
+	perPC := a.PerPC
+	if cap(perPC) < numPCs {
+		perPC = make([]PCStats, numPCs)
+	} else {
+		perPC = perPC[:numPCs]
+		clear(perPC)
+	}
+	*a = Aggregate{PerPC: perPC}
+}
+
 // Aggregate folds raw samples into per-PC counters; numPCs is the flat
 // program length.
 func AggregateSamples(samples []gpusim.Sample, numPCs int) *Aggregate {
-	a := &Aggregate{PerPC: make([]PCStats, numPCs)}
+	a := &Aggregate{}
+	AggregateSamplesInto(a, samples, numPCs)
+	return a
+}
+
+// AggregateSamplesInto is AggregateSamples into a reusable aggregate
+// (reset first), for callers that recycle their scratch state.
+func AggregateSamplesInto(a *Aggregate, samples []gpusim.Sample, numPCs int) {
+	a.Reset(numPCs)
 	for _, s := range samples {
 		if s.PC < 0 || s.PC >= numPCs {
 			continue
@@ -166,5 +203,4 @@ func AggregateSamples(samples []gpusim.Sample, numPCs int) *Aggregate {
 			}
 		}
 	}
-	return a
 }

@@ -8,12 +8,15 @@ import "container/list"
 type lruCache struct {
 	cap     int
 	order   *list.List // front = most recently used; values are *lruEntry
-	entries map[string]*list.Element
+	entries map[digestKey]*list.Element
 }
 
 type lruEntry struct {
-	key  string
+	key  digestKey
 	resp *Response
+	// cached is the shallow copy with Cached set, built once at
+	// insertion so every hit returns the same pointer without copying.
+	cached *Response
 }
 
 func newLRUCache(capacity int) *lruCache {
@@ -23,30 +26,32 @@ func newLRUCache(capacity int) *lruCache {
 	return &lruCache{
 		cap:     capacity,
 		order:   list.New(),
-		entries: make(map[string]*list.Element, capacity),
+		entries: make(map[digestKey]*list.Element, capacity),
 	}
 }
 
-// get returns the cached response for key, promoting it to most
-// recently used, or nil.
-func (c *lruCache) get(key string) *Response {
+// get returns the cached (Cached=true) view of the response for key,
+// promoting it to most recently used, or nil.
+func (c *lruCache) get(key digestKey) *Response {
 	el, ok := c.entries[key]
 	if !ok {
 		return nil
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*lruEntry).resp
+	return el.Value.(*lruEntry).cached
 }
 
 // add inserts (or refreshes) key, evicting the least recently used
 // entry when over capacity. It returns the number of evictions (0 or 1).
-func (c *lruCache) add(key string, resp *Response) int {
+func (c *lruCache) add(key digestKey, resp *Response) int {
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*lruEntry).resp = resp
+		e := el.Value.(*lruEntry)
+		e.resp = resp
+		e.cached = asCached(resp)
 		c.order.MoveToFront(el)
 		return 0
 	}
-	c.entries[key] = c.order.PushFront(&lruEntry{key: key, resp: resp})
+	c.entries[key] = c.order.PushFront(&lruEntry{key: key, resp: resp, cached: asCached(resp)})
 	if c.order.Len() <= c.cap {
 		return 0
 	}

@@ -6,7 +6,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"hash"
+	"sync"
 
 	"gpa/internal/arch"
 	"gpa/internal/cubin"
@@ -14,12 +14,23 @@ import (
 
 // digestSchema versions the key layout: bump it whenever the set or
 // order of digested fields changes, so stale keys from older layouts
-// can never alias a new request.
-const digestSchema = "gpa-service-key/1"
+// can never alias a new request. Layout /2 replaced the inline module
+// bytes and GPU-model JSON with their SHA-256 digests so the per-
+// request hash covers a few hundred fixed bytes instead of re-encoding
+// the whole module, and moved key storage to a fixed [32]byte.
+const digestSchema = "gpa-service-key/2"
 
-// Digest computes the request's content-addressed cache key: a SHA-256
-// over the canonical module bytes (cubin container encoding), the
-// launch configuration, the architecture model key, and every
+// digestKey is the engine-internal cache key: a raw SHA-256. The zero
+// value marks an uncacheable request. Fixed-size keys keep the warm
+// lookup path free of string allocations; Response.Key carries the hex
+// form for humans and HTTP clients.
+type digestKey [32]byte
+
+var zeroKey digestKey
+
+// Digest computes the request's content-addressed cache key in hex: a
+// SHA-256 over the canonical module bytes (cubin container encoding),
+// the launch configuration, the architecture model, and every
 // result-affecting option. Parallelism is deliberately excluded — the
 // simulator is bit-identical at every parallelism level, so requests
 // differing only in worker counts share one cache entry.
@@ -28,77 +39,127 @@ const digestSchema = "gpa-service-key/1"
 // identity (workloads are opaque callbacks); Digest returns "" and the
 // engine bypasses the cache and singleflight for it.
 func (r *Request) Digest() (string, error) {
-	if r.Workload != nil && r.WorkloadKey == "" {
-		return "", nil
+	key, cacheable, err := r.digest()
+	if err != nil || !cacheable {
+		return "", err
 	}
-	blob, err := cubin.Pack(r.Module)
-	if err != nil {
-		return "", fmt.Errorf("service: digest: %w", err)
+	return hex.EncodeToString(key[:]), nil
+}
+
+// digest is the allocation-free core of Digest: the labeled,
+// length-prefixed field encoding lands in a stack buffer and one
+// SHA-256 pass produces the fixed-size key. The two variable-size
+// inputs — the module and the GPU model table — enter by their own
+// cached digests (Request.ModuleHash and a per-model memo), so a warm
+// engine never re-encodes either.
+func (r *Request) digest() (key digestKey, cacheable bool, err error) {
+	if r.Workload != nil && r.WorkloadKey == "" {
+		return zeroKey, false, nil
+	}
+	mh := r.ModuleHash
+	if mh == ([32]byte{}) {
+		blob, err := cubin.Pack(r.Module)
+		if err != nil {
+			return zeroKey, false, fmt.Errorf("service: digest: %w", err)
+		}
+		mh = sha256.Sum256(blob)
 	}
 	n := r.normalized()
-	h := sha256.New()
-	hs := fieldHasher{h: h}
-	hs.str("schema", digestSchema)
-	hs.i64("kind", int64(n.Kind))
-	hs.bytes("module", blob)
-	hs.str("entry", n.Launch.Entry)
-	hs.i64("gridX", int64(n.Launch.Grid.X))
-	hs.i64("gridY", int64(n.Launch.Grid.Y))
-	hs.i64("gridZ", int64(n.Launch.Grid.Z))
-	hs.i64("blockX", int64(n.Launch.Block.X))
-	hs.i64("blockY", int64(n.Launch.Block.Y))
-	hs.i64("blockZ", int64(n.Launch.Block.Z))
-	hs.i64("regs", int64(n.Launch.RegsPerThread))
-	hs.i64("shared", int64(n.Launch.SharedMemPerBlock))
 	// The GPU model is digested by its full constant table, not just
 	// its registry key: a mutated or re-registered model with the same
 	// key must never alias another model's cached results. arch.GPU is
 	// plain scalar data, so its JSON encoding is canonical.
-	gpuBytes, err := json.Marshal(n.GPU)
+	gh, err := gpuModelHash(n.GPU)
 	if err != nil {
-		return "", fmt.Errorf("service: digest: %w", err)
+		return zeroKey, false, err
 	}
-	hs.str("gpu", arch.KeyOf(n.GPU))
-	hs.bytes("gpuModel", gpuBytes)
-	hs.i64("period", int64(n.SamplePeriod))
-	hs.i64("simSMs", int64(n.SimSMs))
-	hs.i64("seed", int64(n.Seed))
-	hs.bool("noOpcodePrune", n.Blamer.DisableOpcodePrune)
-	hs.bool("noDominatorPrune", n.Blamer.DisableDominatorPrune)
-	hs.bool("noLatencyPrune", n.Blamer.DisableLatencyPrune)
-	hs.bool("noIssueWeight", n.Blamer.DisableIssueWeight)
-	hs.bool("noPathWeight", n.Blamer.DisablePathWeight)
-	hs.i64("maxSliceSteps", int64(n.Blamer.MaxSliceSteps))
-	hs.str("workload", r.WorkloadKey)
-	return hex.EncodeToString(h.Sum(nil)), nil
+	var arr [1024]byte
+	b := arr[:0]
+	b = appendStr(b, "schema", digestSchema)
+	b = appendI64(b, "kind", int64(n.Kind))
+	b = appendBytes(b, "module", mh[:])
+	b = appendStr(b, "entry", n.Launch.Entry)
+	b = appendI64(b, "gridX", int64(n.Launch.Grid.X))
+	b = appendI64(b, "gridY", int64(n.Launch.Grid.Y))
+	b = appendI64(b, "gridZ", int64(n.Launch.Grid.Z))
+	b = appendI64(b, "blockX", int64(n.Launch.Block.X))
+	b = appendI64(b, "blockY", int64(n.Launch.Block.Y))
+	b = appendI64(b, "blockZ", int64(n.Launch.Block.Z))
+	b = appendI64(b, "regs", int64(n.Launch.RegsPerThread))
+	b = appendI64(b, "shared", int64(n.Launch.SharedMemPerBlock))
+	b = appendStr(b, "gpu", arch.KeyOf(n.GPU))
+	b = appendBytes(b, "gpuModel", gh[:])
+	b = appendI64(b, "period", int64(n.SamplePeriod))
+	b = appendI64(b, "simSMs", int64(n.SimSMs))
+	b = appendI64(b, "seed", int64(n.Seed))
+	b = appendBool(b, "noOpcodePrune", n.Blamer.DisableOpcodePrune)
+	b = appendBool(b, "noDominatorPrune", n.Blamer.DisableDominatorPrune)
+	b = appendBool(b, "noLatencyPrune", n.Blamer.DisableLatencyPrune)
+	b = appendBool(b, "noIssueWeight", n.Blamer.DisableIssueWeight)
+	b = appendBool(b, "noPathWeight", n.Blamer.DisablePathWeight)
+	b = appendI64(b, "maxSliceSteps", int64(n.Blamer.MaxSliceSteps))
+	b = appendStr(b, "workload", r.WorkloadKey)
+	return sha256.Sum256(b), true, nil
 }
 
-// fieldHasher writes labeled, length-prefixed fields so adjacent
+// gpuHashes memoizes the SHA-256 of each GPU model's JSON encoding,
+// keyed by pointer. Models handed out by the arch registry or reused
+// across requests (gpa.Engine jobs, gpad's per-name model cache) hit
+// the memo; the size cap guards against callers that mint a fresh GPU
+// per request degrading it into a leak.
+var gpuHashes struct {
+	sync.RWMutex
+	m map[*arch.GPU][32]byte
+}
+
+const gpuHashCap = 4096
+
+func gpuModelHash(g *arch.GPU) ([32]byte, error) {
+	gpuHashes.RLock()
+	h, ok := gpuHashes.m[g]
+	gpuHashes.RUnlock()
+	if ok {
+		return h, nil
+	}
+	data, err := json.Marshal(g)
+	if err != nil {
+		return [32]byte{}, fmt.Errorf("service: digest: %w", err)
+	}
+	h = sha256.Sum256(data)
+	gpuHashes.Lock()
+	if gpuHashes.m == nil || len(gpuHashes.m) >= gpuHashCap {
+		gpuHashes.m = make(map[*arch.GPU][32]byte, 16)
+	}
+	gpuHashes.m[g] = h
+	gpuHashes.Unlock()
+	return h, nil
+}
+
+// appendBytes writes a labeled, length-prefixed field so adjacent
 // values can never collide by concatenation.
-type fieldHasher struct{ h hash.Hash }
-
-func (f fieldHasher) bytes(label string, b []byte) {
-	var n [8]byte
-	binary.LittleEndian.PutUint64(n[:], uint64(len(label)))
-	f.h.Write(n[:])
-	f.h.Write([]byte(label))
-	binary.LittleEndian.PutUint64(n[:], uint64(len(b)))
-	f.h.Write(n[:])
-	f.h.Write(b)
+func appendBytes(b []byte, label string, v []byte) []byte {
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(label)))
+	b = append(b, label...)
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(v)))
+	return append(b, v...)
 }
 
-func (f fieldHasher) str(label, s string) { f.bytes(label, []byte(s)) }
-
-func (f fieldHasher) i64(label string, v int64) {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], uint64(v))
-	f.bytes(label, b[:])
+func appendStr(b []byte, label, v string) []byte {
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(label)))
+	b = append(b, label...)
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(v)))
+	return append(b, v...)
 }
 
-func (f fieldHasher) bool(label string, v bool) {
+func appendI64(b []byte, label string, v int64) []byte {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	return appendBytes(b, label, buf[:])
+}
+
+func appendBool(b []byte, label string, v bool) []byte {
 	if v {
-		f.i64(label, 1)
-	} else {
-		f.i64(label, 0)
+		return appendI64(b, label, 1)
 	}
+	return appendI64(b, label, 0)
 }

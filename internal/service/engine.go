@@ -33,9 +33,11 @@ package service
 
 import (
 	"context"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/metrics"
 	"strings"
 	"sync"
 	"time"
@@ -96,8 +98,13 @@ type Request struct {
 	// Prog optionally supplies the module's already-flattened program
 	// (gpa.Kernel caches one); nil loads it on demand. It must belong
 	// to Module.
-	Prog   *gpusim.Program
-	Launch gpusim.LaunchConfig
+	Prog *gpusim.Program
+	// ModuleHash optionally supplies the SHA-256 of the module's
+	// canonical cubin encoding (gpa.Kernel caches one); zero means the
+	// digest re-packs the module on demand. Supplying it keeps the
+	// warm cache-hit path free of per-request module encoding.
+	ModuleHash [32]byte
+	Launch     gpusim.LaunchConfig
 	// GPU is the architecture model (nil = the paper's V100).
 	GPU *arch.GPU
 	// SamplePeriod in cycles (0 = 64; ignored and normalized away for
@@ -126,12 +133,18 @@ type Request struct {
 	WorkloadKey string
 }
 
+// defaultGPU is the shared default architecture model (the paper's
+// V100). It is resolved once so every nil-GPU request digests and runs
+// against one immutable instance instead of minting a fresh model per
+// request; nothing in the pipeline mutates a Config's GPU.
+var defaultGPU = arch.VoltaV100()
+
 // normalized returns a copy with defaults resolved, so the digest and
 // the execution path can never disagree about what actually ran.
 func (r *Request) normalized() Request {
 	n := *r
 	if n.GPU == nil {
-		n.GPU = arch.VoltaV100()
+		n.GPU = defaultGPU
 	}
 	if n.SimSMs == 0 {
 		n.SimSMs = 4
@@ -143,6 +156,11 @@ func (r *Request) normalized() Request {
 	}
 	if n.Parallelism == 0 {
 		n.Parallelism = 1
+	} else if mp := runtime.GOMAXPROCS(0); n.Parallelism > mp {
+		// gpusim.Run caps this too; normalizing here keeps the engine's
+		// effective configuration honest in one place. Parallelism never
+		// affects results and is excluded from the digest.
+		n.Parallelism = mp
 	}
 	return n
 }
@@ -175,6 +193,31 @@ type Response struct {
 	// Report is the rendered Figure 8-style report text (KindAdvise).
 	// Byte-identical between a cache hit and a cold run.
 	Report string
+
+	// memo caches one caller-layer view of this response (see Memo).
+	// It is a pointer so the cached shallow copy shares it.
+	memo *respMemo
+}
+
+// respMemo holds a caller-built value derived from a response, built at
+// most once per underlying response.
+type respMemo struct {
+	once sync.Once
+	v    any
+}
+
+// Memo returns a value derived from this response, building it at most
+// once per underlying response (cache hits and coalesced copies share
+// the memo). The gpa layer uses it to avoid re-materializing its Report
+// wrapper on every warm cache hit. Responses not produced by an engine
+// run have no memo and just invoke build.
+func (r *Response) Memo(build func() any) any {
+	m := r.memo
+	if m == nil {
+		return build()
+	}
+	m.once.Do(func() { m.v = build() })
+	return m.v
 }
 
 // Stats is a point-in-time snapshot of the engine's counters.
@@ -210,6 +253,18 @@ type Stats struct {
 	CacheEntries int `json:"cacheEntries"`
 	// Workers is the engine's worker-pool bound.
 	Workers int `json:"workers"`
+	// PoolGets / PoolHits are the simulator's per-run state-arena
+	// counters (gpusim.PoolStats): how many arenas were acquired
+	// process-wide and how many were recycled pool hits. A warm engine
+	// should show PoolHits tracking PoolGets.
+	PoolGets int64 `json:"poolGets"`
+	PoolHits int64 `json:"poolHits"`
+	// AllocsPerJob is the mean number of heap allocations per served
+	// job (hits, coalesced, bypassed, and executed alike) since the
+	// engine was created, measured from runtime.MemStats.Mallocs. It is
+	// process-wide, so concurrent non-engine work inflates it; on a
+	// dedicated gpad it is the serving hot path's allocation rate.
+	AllocsPerJob float64 `json:"allocsPerJob"`
 }
 
 // Options configures an engine.
@@ -253,7 +308,12 @@ type Engine struct {
 	mu       sync.Mutex
 	draining bool
 	cache    *lruCache // nil when caching is disabled
-	flight   map[string]*flightCall
+	flight   map[digestKey]*flightCall
+
+	// baseMallocs is the process's cumulative heap-object allocation
+	// count at engine creation (heapAllocObjects); Stats reports the
+	// process-wide allocation delta per served job against it.
+	baseMallocs uint64
 
 	stats struct {
 		hits, misses, coalesced, bypass, runs, errors, canceled, shed, evictions, inflight int64
@@ -268,7 +328,10 @@ type flightCall struct {
 	cancel  context.CancelFunc
 	waiters int
 	resp    *Response
-	err     error
+	// cachedResp is the shared Cached=true view handed to coalesced
+	// followers, built once when the run completes.
+	cachedResp *Response
+	err        error
 }
 
 // New builds an engine.
@@ -289,7 +352,8 @@ func New(opts Options) *Engine {
 		baseCancel:     baseCancel,
 		drainCh:        make(chan struct{}),
 		cache:          newLRUCache(entries), // nil for entries < 0
-		flight:         make(map[string]*flightCall),
+		flight:         make(map[digestKey]*flightCall),
+		baseMallocs:    heapAllocObjects(),
 	}
 	if opts.MaxQueue != 0 {
 		queue := opts.MaxQueue
@@ -336,15 +400,15 @@ func (e *Engine) Do(ctx context.Context, req *Request) (*Response, error) {
 	ctx, cancel := e.withDeadline(ctx, req)
 	defer cancel()
 
-	key, err := req.Digest()
+	key, cacheable, err := req.digest()
 	if err != nil {
 		return nil, err
 	}
-	if key == "" {
+	if !cacheable {
 		e.count(&e.stats.bypass)
 		// Uncacheable requests cannot share a flight, but the caller's
 		// ctx still cancels the run directly.
-		return e.execute(ctx, req, key)
+		return e.execute(ctx, req, "")
 	}
 
 	e.mu.Lock()
@@ -352,7 +416,9 @@ func (e *Engine) Do(ctx context.Context, req *Request) (*Response, error) {
 		if resp := e.cache.get(key); resp != nil {
 			e.stats.hits++
 			e.mu.Unlock()
-			return asCached(resp), nil
+			// The cached view is prebuilt at insertion: the warm hit
+			// path performs no allocation at all.
+			return resp, nil
 		}
 	}
 	c, joined := e.flight[key]
@@ -368,20 +434,28 @@ func (e *Engine) Do(ctx context.Context, req *Request) (*Response, error) {
 		e.mu.Unlock()
 		// The run is owned by the flight, not by this caller: it keeps
 		// going if this caller detaches while other waiters remain, and
-		// dies (via cancelRun) when the last waiter detaches.
+		// dies (via cancelRun) when the last waiter detaches. The
+		// request is copied so the caller's Request (often stack-
+		// allocated by the gpa layer) never escapes into the goroutine.
+		reqCopy := *req
+		keyCopy := key // keeps the caller's key off the heap on hit paths
+		keyStr := hex.EncodeToString(key[:])
 		go func() {
-			resp, err := e.execute(runCtx, req, key)
+			resp, err := e.execute(runCtx, &reqCopy, keyStr)
 			cancelRun()
 			e.mu.Lock()
 			// detach may already have removed an abandoned flight and a
 			// fresh caller may have installed a new one under the same
 			// key; only remove our own entry.
-			if e.flight[key] == c {
-				delete(e.flight, key)
+			if e.flight[keyCopy] == c {
+				delete(e.flight, keyCopy)
 			}
 			c.resp, c.err = resp, err
+			if resp != nil {
+				c.cachedResp = asCached(resp)
+			}
 			if err == nil && e.cache != nil {
-				e.stats.evictions += int64(e.cache.add(key, resp))
+				e.stats.evictions += int64(e.cache.add(keyCopy, resp))
 			}
 			e.mu.Unlock()
 			close(c.done)
@@ -394,7 +468,7 @@ func (e *Engine) Do(ctx context.Context, req *Request) (*Response, error) {
 			return nil, c.err
 		}
 		if joined {
-			return asCached(c.resp), nil
+			return c.cachedResp, nil
 		}
 		return c.resp, nil
 	case <-ctx.Done():
@@ -408,7 +482,7 @@ func (e *Engine) Do(ctx context.Context, req *Request) (*Response, error) {
 // the flight immediately, so a fresh caller arriving while the
 // canceled run unwinds starts a new run instead of inheriting the
 // abandoned flight's cancellation error.
-func (e *Engine) detach(key string, c *flightCall) {
+func (e *Engine) detach(key digestKey, c *flightCall) {
 	e.mu.Lock()
 	e.stats.canceled++
 	c.waiters--
@@ -495,11 +569,26 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 	}
 }
 
+// heapAllocObjects reads the process's cumulative heap-object
+// allocation count via runtime/metrics, which — unlike
+// runtime.ReadMemStats — does not stop the world, so scraping /statsz
+// never pauses the serving hot path it monitors.
+func heapAllocObjects() uint64 {
+	sample := []metrics.Sample{{Name: "/gc/heap/allocs:objects"}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() == metrics.KindUint64 {
+		return sample[0].Value.Uint64()
+	}
+	return 0
+}
+
 // Stats snapshots the engine counters.
 func (e *Engine) Stats() Stats {
+	allocs := heapAllocObjects()
+	poolGets, poolHits := gpusim.PoolStats()
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return Stats{
+	st := Stats{
 		Hits:         e.stats.hits,
 		Misses:       e.stats.misses,
 		Coalesced:    e.stats.coalesced,
@@ -512,7 +601,13 @@ func (e *Engine) Stats() Stats {
 		Inflight:     e.stats.inflight,
 		CacheEntries: e.cache.len(),
 		Workers:      cap(e.sem),
+		PoolGets:     poolGets,
+		PoolHits:     poolHits,
 	}
+	if jobs := st.Hits + st.Misses + st.Coalesced + st.Bypass; jobs > 0 {
+		st.AllocsPerJob = float64(allocs-e.baseMallocs) / float64(jobs)
+	}
+	return st
 }
 
 // asCached shallow-copies a response with the Cached flag set; the
@@ -582,7 +677,7 @@ func (e *Engine) execute(ctx context.Context, req *Request, key string) (resp *R
 			return nil, fmt.Errorf("service: %w", err)
 		}
 	}
-	resp = &Response{Key: key, Kind: n.Kind}
+	resp = &Response{Key: key, Kind: n.Kind, memo: &respMemo{}}
 
 	if n.Kind == KindMeasure {
 		res, err := gpusim.Run(ctx, prog, n.Launch, n.Workload, gpusim.Config{
@@ -595,6 +690,7 @@ func (e *Engine) execute(ctx context.Context, req *Request, key string) (resp *R
 			return nil, fmt.Errorf("service: %w", err)
 		}
 		resp.Cycles = res.Cycles
+		prog.Recycle(res)
 		resp.ElapsedMS = elapsedMS(start)
 		return resp, nil
 	}

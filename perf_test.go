@@ -1,0 +1,78 @@
+package gpa
+
+import (
+	"context"
+	"runtime/debug"
+	"testing"
+)
+
+// perfTestSrc is a small but non-trivial kernel for serving-path
+// performance pins.
+const perfTestSrc = `
+.func pk global
+.line pk.cu 1
+	MOV R0, 0x0 {S:2}
+LOOP:
+	LDG.E.32 R4, [R2] {S:1, W:0}
+	IADD R5, R4, 0x1 {S:4, Q:0}
+	IADD R0, R0, 0x1 {S:4}
+	ISETP P0, R0, 0x10 {S:4}
+BR0:	@P0 BRA LOOP {S:5}
+	EXIT
+`
+
+// TestWarmEngineDoAllocationFree pins the serving hot path: once a
+// job's result is cached, Engine.Do must resolve it without a single
+// heap allocation — request construction, digest, cache lookup, and
+// result materialization all reuse prebuilt state.
+func TestWarmEngineDoAllocationFree(t *testing.T) {
+	k, err := LoadKernelAsm(perfTestSrc, Launch{Entry: "pk", GridX: 4, BlockX: 128, RegsPerThread: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	eng := NewEngine(&EngineOptions{Workers: 1})
+	for _, kind := range []JobKind{JobMeasure, JobProfile, JobAdvise} {
+		job := Job{Kind: kind, Kernel: k, Options: &Options{SimSMs: 1}}
+		if r := eng.Do(ctx, job); r.Err != nil {
+			t.Fatalf("cold Do(%v): %v", kind, r.Err)
+		}
+		// A GC inside the window would make pool behavior (irrelevant
+		// on the hit path, but cheap insurance) and the measurement
+		// itself noisier.
+		gcOff := debug.SetGCPercent(-1)
+		avg := testing.AllocsPerRun(100, func() {
+			r := eng.Do(ctx, job)
+			if r.Err != nil {
+				t.Fatal(r.Err)
+			}
+			if !r.Cached {
+				t.Fatal("expected a cache hit")
+			}
+		})
+		debug.SetGCPercent(gcOff)
+		if avg != 0 {
+			t.Errorf("warm Engine.Do(%v) allocates %.2f objects/op, want 0", kind, avg)
+		}
+	}
+}
+
+func BenchmarkWarmEngineDo(b *testing.B) {
+	k, err := LoadKernelAsm(perfTestSrc, Launch{Entry: "pk", GridX: 4, BlockX: 128, RegsPerThread: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	eng := NewEngine(&EngineOptions{Workers: 1})
+	job := Job{Kind: JobAdvise, Kernel: k, Options: &Options{SimSMs: 1}}
+	if r := eng.Do(ctx, job); r.Err != nil {
+		b.Fatal(r.Err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := eng.Do(ctx, job); r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+}
