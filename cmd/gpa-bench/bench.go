@@ -10,6 +10,7 @@ import (
 
 	"gpa"
 	"gpa/internal/arch"
+	"gpa/internal/gpusim"
 	"gpa/internal/kernels"
 )
 
@@ -57,6 +58,15 @@ type stageResult struct {
 	// reps), tracking the serving path's GC pressure across PRs.
 	AllocsPerOp float64 `json:"allocsPerOp"`
 	BytesPerOp  float64 `json:"bytesPerOp"`
+	// FFPeriodsPerOp / FFCyclesPerOp / FFFallbacksPerOp are the
+	// steady-state memoization deltas per operation (gpusim.FFStats):
+	// loop periods locked and skipped, simulated cycles fast-forwarded
+	// analytically, and locked periods abandoned without skipping.
+	// Structurally aperiodic kernels (hotspot's barrier-free
+	// latency-bound loop) legitimately report zeros.
+	FFPeriodsPerOp   float64 `json:"ffPeriodsPerOp"`
+	FFCyclesPerOp    float64 `json:"ffCyclesPerOp"`
+	FFFallbacksPerOp float64 `json:"ffFallbacksPerOp"`
 }
 
 type engineStageResult struct {
@@ -73,21 +83,28 @@ type engineStageResult struct {
 	// kernel in the batch (see stageResult).
 	AllocsPerKernel float64 `json:"allocsPerKernel"`
 	BytesPerKernel  float64 `json:"bytesPerKernel"`
+	// FFCyclesPerKernel is the mean number of simulated cycles the
+	// steady-state memoizer skipped per kernel in the batch; warm
+	// (cached) passes run no simulations and report zero.
+	FFCyclesPerKernel float64 `json:"ffCyclesPerKernel"`
 }
 
-// stageCost is one timed stage's mean per-op wall-clock and allocation
-// cost.
+// stageCost is one timed stage's mean per-op wall-clock, allocation,
+// and fast-forward cost.
 type stageCost struct {
-	ns, allocs, bytes float64
+	ns, allocs, bytes                float64
+	ffPeriods, ffCycles, ffFallbacks float64
 }
 
 // timeStage runs fn reps times and returns the mean per-op cost.
-// Allocation numbers are process-wide MemStats deltas: exact for the
-// single-goroutine stages, a faithful serving-cost measure for the
-// concurrent engine passes.
+// Allocation and fast-forward numbers are process-wide deltas
+// (runtime.MemStats, gpusim.FFStats): exact for the single-goroutine
+// stages, a faithful serving-cost measure for the concurrent engine
+// passes.
 func timeStage(reps int, fn func() error) (stageCost, error) {
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
+	ffP0, ffC0, ffF0 := gpusim.FFStats()
 	start := time.Now()
 	for i := 0; i < reps; i++ {
 		if err := fn(); err != nil {
@@ -96,11 +113,15 @@ func timeStage(reps int, fn func() error) (stageCost, error) {
 	}
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&m1)
+	ffP1, ffC1, ffF1 := gpusim.FFStats()
 	r := float64(reps)
 	return stageCost{
-		ns:     float64(elapsed.Nanoseconds()) / r,
-		allocs: float64(m1.Mallocs-m0.Mallocs) / r,
-		bytes:  float64(m1.TotalAlloc-m0.TotalAlloc) / r,
+		ns:          float64(elapsed.Nanoseconds()) / r,
+		allocs:      float64(m1.Mallocs-m0.Mallocs) / r,
+		bytes:       float64(m1.TotalAlloc-m0.TotalAlloc) / r,
+		ffPeriods:   float64(ffP1-ffP0) / r,
+		ffCycles:    float64(ffC1-ffC0) / r,
+		ffFallbacks: float64(ffF1-ffF0) / r,
 	}, nil
 }
 
@@ -123,12 +144,25 @@ func runBenchSnapshot(ctx context.Context, path string, reps int, seed uint64, b
 	if err != nil {
 		return err
 	}
+	// The fast-forward demonstration row: nw's barrier-synchronized
+	// wavefront loop is periodic at the SM level, so the memoizer must
+	// lock on and skip (hotspot's barrier-free latency-bound loop is
+	// structurally aperiodic and legitimately never fast-forwards).
+	ffRows := kernels.Find("rodinia/nw")
+	if len(ffRows) == 0 {
+		return fmt.Errorf("bench: no rodinia/nw row")
+	}
+	ffK, ffWL, err := ffRows[0].Base.Build()
+	if err != nil {
+		return err
+	}
 	const simSMs = 4
 	seqOpts := &gpa.Options{GPU: gpu, Workload: wl, Seed: seed, SimSMs: simSMs, Parallelism: 1}
 	parOpts := &gpa.Options{GPU: gpu, Workload: wl, Seed: seed, SimSMs: simSMs, Parallelism: runtime.GOMAXPROCS(0)}
+	ffOpts := &gpa.Options{GPU: gpu, Workload: ffWL, Seed: seed, SimSMs: simSMs, Parallelism: 1}
 
 	snap := &benchSnapshot{
-		Schema:       "gpa-bench-snapshot/2",
+		Schema:       "gpa-bench-snapshot/3",
 		Generated:    time.Now().UTC().Format(time.RFC3339),
 		GoVersion:    runtime.Version(),
 		NumCPU:       runtime.NumCPU(),
@@ -151,6 +185,7 @@ func runBenchSnapshot(ctx context.Context, path string, reps int, seed uint64, b
 	}{
 		{"simulate_seq", func() error { _, err := k.Measure(ctx, seqOpts); return err }},
 		{"simulate_par", func() error { _, err := k.Measure(ctx, parOpts); return err }},
+		{"simulate_ff", func() error { _, err := ffK.Measure(ctx, ffOpts); return err }},
 		{"profile", func() error { _, err := k.Profile(ctx, seqOpts); return err }},
 		{"advise", func() error { _, err := k.AdviseFromProfile(ctx, prof, seqOpts); return err }},
 		{"row_seq", func() error {
@@ -173,9 +208,11 @@ func runBenchSnapshot(ctx context.Context, path string, reps int, seed uint64, b
 		snap.Stages = append(snap.Stages, stageResult{
 			Name: st.name, NsPerOp: cost.ns,
 			AllocsPerOp: cost.allocs, BytesPerOp: cost.bytes,
+			FFPeriodsPerOp: cost.ffPeriods, FFCyclesPerOp: cost.ffCycles,
+			FFFallbacksPerOp: cost.ffFallbacks,
 		})
-		fmt.Printf("bench: %-14s %14.0f ns/op %12.0f allocs/op %12.0f B/op\n",
-			st.name, cost.ns, cost.allocs, cost.bytes)
+		fmt.Printf("bench: %-14s %14.0f ns/op %12.0f allocs/op %12.0f B/op %10.0f ffcycles/op\n",
+			st.name, cost.ns, cost.allocs, cost.bytes, cost.ffCycles)
 	}
 	engineStages, err := benchEngine(ctx, reps, seed, gpu)
 	if err != nil {
@@ -258,10 +295,12 @@ func benchEngine(ctx context.Context, reps int, seed uint64, gpu *arch.GPU) ([]e
 		for _, st := range []engineStageResult{
 			{Name: fmt.Sprintf("engine_cold_w%d", workers), Workers: workers,
 				Kernels: len(jobs), Reps: coldReps, NsPerKernel: cold.ns / n,
-				AllocsPerKernel: cold.allocs / n, BytesPerKernel: cold.bytes / n},
+				AllocsPerKernel: cold.allocs / n, BytesPerKernel: cold.bytes / n,
+				FFCyclesPerKernel: cold.ffCycles / n},
 			{Name: fmt.Sprintf("engine_warm_w%d", workers), Workers: workers, Cached: true,
 				Kernels: len(jobs), Reps: reps, NsPerKernel: warmCost.ns / n,
-				AllocsPerKernel: warmCost.allocs / n, BytesPerKernel: warmCost.bytes / n},
+				AllocsPerKernel: warmCost.allocs / n, BytesPerKernel: warmCost.bytes / n,
+				FFCyclesPerKernel: warmCost.ffCycles / n},
 		} {
 			if st.NsPerKernel > 0 {
 				st.KernelsPerSec = 1e9 / st.NsPerKernel

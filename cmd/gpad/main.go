@@ -43,7 +43,9 @@
 //	GET  /statsz      Engine counters: hits, misses, coalesced,
 //	                  canceled, shed, inflight, runs, evictions, plus
 //	                  the serving-efficiency gauges poolGets/poolHits
-//	                  (simulator state-arena reuse) and allocsPerJob.
+//	                  (simulator state-arena reuse), allocsPerJob, and
+//	                  the steady-state memoization counters
+//	                  ffPeriodsDetected/ffCyclesSkipped/ffFallbacks.
 //	                  Also served at /v1/statsz.
 //
 // The simulator is deterministic, so gpad's responses are a pure

@@ -167,7 +167,8 @@ func TestStatszPoolCounters(t *testing.T) {
 	}
 	defer resp.Body.Close()
 	raw, _ := io.ReadAll(resp.Body)
-	for _, field := range []string{`"poolGets"`, `"poolHits"`, `"allocsPerJob"`} {
+	for _, field := range []string{`"poolGets"`, `"poolHits"`, `"allocsPerJob"`,
+		`"ffPeriodsDetected"`, `"ffCyclesSkipped"`, `"ffFallbacks"`} {
 		if !strings.Contains(string(raw), field) {
 			t.Errorf("/v1/statsz JSON missing %s: %s", field, raw)
 		}

@@ -152,6 +152,14 @@ type Kernel struct {
 	modHash     [32]byte
 	modHashErr  error
 	modHashOnce sync.Once
+
+	// st caches the recovered program structure (CFG, loop nests, line
+	// maps). Structure is architecture-independent, so one analysis
+	// serves every Advise call — a cross-architecture sweep shares the
+	// whole front-end (module, program, hash, structure) per kernel.
+	st     *structure.Structure
+	stErr  error
+	stOnce sync.Once
 }
 
 // program returns the kernel's flattened program, loading it on first
@@ -320,7 +328,11 @@ func (k *Kernel) AdviseFromProfile(ctx context.Context, prof *profiler.Profile, 
 		}
 		o.GPU = g
 	}
-	actx, err := adv.BuildContext(k.Module, prof, o.GPU, o.Blamer)
+	st, err := k.Structure()
+	if err != nil {
+		return nil, err
+	}
+	actx, err := adv.BuildContextWithStructure(k.Module, st, prof, o.GPU, o.Blamer)
 	if err != nil {
 		return nil, err
 	}
@@ -331,9 +343,13 @@ func (k *Kernel) AdviseFromProfile(ctx context.Context, prof *profiler.Profile, 
 }
 
 // Structure returns the kernel's recovered program structure (functions,
-// loop nests, line mappings).
+// loop nests, line mappings), analyzing it on first use. The result is
+// shared: callers must treat it as read-only.
 func (k *Kernel) Structure() (*structure.Structure, error) {
-	return structure.Analyze(k.Module)
+	k.stOnce.Do(func() {
+		k.st, k.stErr = structure.Analyze(k.Module)
+	})
+	return k.st, k.stErr
 }
 
 // defaultGPU is the shared default architecture model: one immutable

@@ -64,16 +64,27 @@ type Context struct {
 // blamer runs over every profiled function.
 func BuildContext(mod *sass.Module, prof *profiler.Profile, gpu *arch.GPU,
 	opts blamer.Options) (*Context, error) {
+	st, err := structure.Analyze(mod)
+	if err != nil {
+		return nil, fmt.Errorf("advisor: %w", err)
+	}
+	return BuildContextWithStructure(mod, st, prof, gpu, opts)
+}
+
+// BuildContextWithStructure is BuildContext with the program structure
+// supplied by the caller. The structure is the arch-independent half of
+// the front-end; gpa.Kernel memoizes it, so a cross-architecture sweep
+// analyzes the CFG and loop nests once and shares them across every
+// per-model advice run. st must have been analyzed from mod and is only
+// read.
+func BuildContextWithStructure(mod *sass.Module, st *structure.Structure, prof *profiler.Profile,
+	gpu *arch.GPU, opts blamer.Options) (*Context, error) {
 	if gpu == nil {
 		g, err := arch.ByArchFlag(mod.Arch)
 		if err != nil {
 			return nil, fmt.Errorf("advisor: %w", err)
 		}
 		gpu = g
-	}
-	st, err := structure.Analyze(mod)
-	if err != nil {
-		return nil, fmt.Errorf("advisor: %w", err)
 	}
 	views, err := prof.FuncViews(mod)
 	if err != nil {

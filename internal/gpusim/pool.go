@@ -38,10 +38,13 @@ type arena struct {
 // smOutcome collects one SM's results in parallel mode for in-order
 // merging after the join.
 type smOutcome struct {
-	cycles  int64
-	issued  []int64
-	samples []Sample
-	err     error
+	cycles    int64
+	issued    []int64
+	samples   []Sample
+	err       error
+	detected  int64
+	ffCycles  int64
+	fallbacks int64
 }
 
 // poolGets/poolHits count arena acquisitions and how many were served
@@ -56,6 +59,22 @@ var (
 // process-wide and how many of those were recycled pool hits.
 func PoolStats() (gets, hits int64) {
 	return poolGets.Load(), poolHits.Load()
+}
+
+// ffPeriods/ffCycles/ffFallbacks accumulate the steady-state memoizer's
+// counters process-wide (see steady.go); gpad surfaces them in /statsz
+// alongside the pool counters.
+var (
+	ffPeriods   atomic.Int64
+	ffCycles    atomic.Int64
+	ffFallbacks atomic.Int64
+)
+
+// FFStats reports process-wide steady-state fast-forward activity:
+// period templates locked in, SM-cycles skipped analytically, and
+// candidates abandoned to the normal stepping fallback.
+func FFStats() (periods, cycles, fallbacks int64) {
+	return ffPeriods.Load(), ffCycles.Load(), ffFallbacks.Load()
 }
 
 func (p *Program) getArena() *arena {

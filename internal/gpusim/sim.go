@@ -103,6 +103,19 @@ type Result struct {
 	BlocksLaunched int
 	// ThreadsPerBlock echoes the launch config.
 	ThreadsPerBlock int
+
+	// PeriodsDetected counts steady-state period templates the loop
+	// memoizer locked onto across simulated SMs (see steady.go).
+	// The memoizer never changes results: Cycles, IssuedPerPC, and the
+	// sample stream are bit-identical with or without fast-forwarding.
+	PeriodsDetected int64
+	// CyclesFastForwarded counts SM-cycles skipped analytically instead
+	// of stepped (summed over simulated SMs).
+	CyclesFastForwarded int64
+	// FastForwardFallbacks counts abandoned period candidates and
+	// zero-length fast-forward attempts that fell back to normal
+	// event-skipped stepping.
+	FastForwardFallbacks int64
 }
 
 // Run simulates a kernel launch to completion. The context is honored
@@ -195,7 +208,7 @@ func Run(ctx context.Context, p *Program, launch LaunchConfig, wl Workload, cfg 
 			if err != nil {
 				return nil, err
 			}
-			mergeSM(res, cycles, sm.issuedPerPC)
+			mergeSM(res, cycles, sm.issuedPerPC, &sm.steady)
 		}
 		return res, nil
 	}
@@ -221,6 +234,9 @@ func Run(ctx context.Context, p *Program, launch LaunchConfig, wl Workload, cfg 
 		sm := newSM(ar.sms[smID], smID, p, rt, wl, cfg, launch, occ, entry, myBlocks, warpsPerBlock, sink)
 		out.cycles, out.err = sm.run(ctx, maxCycles)
 		out.issued = sm.issuedPerPC
+		out.detected = sm.steady.detected
+		out.ffCycles = sm.steady.ffCycles
+		out.fallbacks = sm.steady.fallbacks
 		if buf != nil {
 			out.samples = buf.samples
 		}
@@ -242,7 +258,9 @@ func Run(ctx context.Context, p *Program, launch LaunchConfig, wl Workload, cfg 
 			return nil, out.err
 		}
 		if out.issued != nil {
-			mergeSM(res, out.cycles, out.issued)
+			mergeSM(res, out.cycles, out.issued, &steadyState{
+				detected: out.detected, ffCycles: out.ffCycles, fallbacks: out.fallbacks,
+			})
 		}
 	}
 	return res, nil
@@ -276,9 +294,10 @@ func blocksForSM(buf []int, smID, blocks, numSMs int) []int {
 	return out
 }
 
-// mergeSM folds one SM's completion cycle and issue counts into the
-// kernel result (order-independent: sums and a max).
-func mergeSM(res *Result, cycles int64, issuedPerPC []int64) {
+// mergeSM folds one SM's completion cycle, issue counts, and
+// fast-forward counters into the kernel result (order-independent:
+// sums and a max).
+func mergeSM(res *Result, cycles int64, issuedPerPC []int64, st *steadyState) {
 	if cycles > res.Cycles {
 		res.Cycles = cycles
 	}
@@ -286,6 +305,12 @@ func mergeSM(res *Result, cycles int64, issuedPerPC []int64) {
 		res.IssuedPerPC[pc] += n
 		res.TotalIssued += n
 	}
+	res.PeriodsDetected += st.detected
+	res.CyclesFastForwarded += st.ffCycles
+	res.FastForwardFallbacks += st.fallbacks
+	ffPeriods.Add(st.detected)
+	ffCycles.Add(st.ffCycles)
+	ffFallbacks.Add(st.fallbacks)
 }
 
 // sliceSink buffers one SM's samples for in-order replay after a

@@ -44,21 +44,18 @@ type warpState struct {
 	lastIssueCycle int64
 }
 
-// warpBound caches a lower bound on one warp's earliest possible issue
-// cycle. A warp's time gates (fetchReady, nextIssue, barReady) change
-// only through its own issue, which refreshes the cache, so a time
-// bound stays valid until it expires; shared gates (unitBusy) only
-// grow, which keeps the cached value a lower bound. The sentinels need
-// an external wake instead: boundMSHR is valid while gen matches
-// sm.mshrGen (MSHR releases expire it), and farFuture is reset to 0
-// directly by the event that wakes the warp (barrier release, block
-// rotation). Bounds live in a dense array parallel to sm.warps (not in
-// warpState) so the scheduler scan's cache-valid fast path touches 16
-// bytes per warp instead of the whole warp record.
-type warpBound struct {
-	bound int64
-	gen   uint64
-}
+// Warp bounds cache a lower bound on each warp's earliest possible
+// issue cycle. A warp's time gates (fetchReady, nextIssue, barReady)
+// change only through its own issue, which refreshes the cache, so a
+// time bound stays valid until it expires; shared gates (unitBusy)
+// only grow, which keeps the cached value a lower bound. The sentinels
+// need an external wake instead: boundMSHR entries are valid while the
+// scheduler's mshrSeen generation matches sm.mshrGen (MSHR releases
+// expire the whole scheduler's throttle bounds at once), and farFuture
+// is reset to 0 directly by the event that wakes the warp (barrier
+// release, block rotation). Bounds live in a dense int64 array parallel
+// to sm.warps (not in warpState) so the scheduler scan's cache-valid
+// fast path touches 8 bytes per warp instead of the whole warp record.
 
 type blockSlot struct {
 	warps      []int // indices into sm.warps
@@ -69,15 +66,19 @@ type blockSlot struct {
 
 type scheduler struct {
 	warps []int // indices into sm.warps
-	// bounds[i] is warps[i]'s cached issue-cycle lower bound (see
-	// warpBound): contiguous per scheduler so the scan's cache-valid
-	// fast path is a sequential walk. For warp index w the entry lives
-	// at scheduler w%NumScheds, slot w/NumScheds (warps are dealt
-	// round-robin in index order).
-	bounds []warpBound
-	rotate int // LRR issue pointer
-	samplePtr int   // round-robin sampled-warp pointer
-	issuedNow bool  // issued at the current cycle
+	// bounds[i] is warps[i]'s cached issue-cycle lower bound:
+	// contiguous per scheduler so the scan's cache-valid fast path is a
+	// sequential walk. For warp index w the entry lives at scheduler
+	// w%NumScheds, slot w/NumScheds (warps are dealt round-robin in
+	// index order).
+	bounds []int64
+	// mshrSeen is the sm.mshrGen value this scheduler's boundMSHR
+	// entries were computed under; a mismatch means a release has freed
+	// slots since, so every throttle bound must be re-probed.
+	mshrSeen  uint64
+	rotate    int  // LRR issue pointer
+	samplePtr int  // round-robin sampled-warp pointer
+	issuedNow bool // issued at the current cycle
 	// nextReady is a lower bound on the next cycle any resident warp
 	// could issue, letting the run loop skip fruitless full-warp scans
 	// and feed the whole-SM cycle skip. 0 forces a scan; events that
@@ -128,6 +129,9 @@ type sm struct {
 
 	blockQueue []int // global block IDs still to run
 	nextBlock  int
+	// doneSlots counts block slots that have drained with the queue
+	// empty; allDone is O(1) against it instead of walking the slots.
+	doneSlots int
 
 	mshrFree int
 	releases []mshrRelease
@@ -162,6 +166,10 @@ type sm struct {
 	// lastProgress is the cycle of the most recent issue, reported by
 	// the livelock guard.
 	lastProgress int64
+	// steady is the steady-state loop memoizer (see steady.go): period
+	// detection, the recorded period template, and the fast-forward
+	// counters.
+	steady steadyState
 }
 
 // newSM (re)initializes an SM shell for one run. The shell comes from
@@ -188,6 +196,7 @@ func newSM(shell *sm, id int, p *Program, rt *runTables, wl Workload, cfg Config
 		issuedPerPC: resizeInt64(s.issuedPerPC, len(p.Instrs)),
 		warpsPerBlk: warpsPerBlock,
 		sink:        sink,
+		steady:      resetSteady(s.steady, wl, cfg.stepEveryCycle),
 	}
 	resident := occ.BlocksPerSM
 	if resident > len(blocks) {
@@ -214,7 +223,10 @@ func (s *sm) wakeAll() {
 // given cycle; it returns false when the queue is empty.
 func (s *sm) startBlock(slot int, now int64) bool {
 	if s.nextBlock >= len(s.blockQueue) {
-		s.slots[slot].done = true
+		if !s.slots[slot].done {
+			s.slots[slot].done = true
+			s.doneSlots++
+		}
 		return false
 	}
 	blockID := s.blockQueue[s.nextBlock]
@@ -231,11 +243,11 @@ func (s *sm) startBlock(slot int, now int64) bool {
 			// Warps are distributed round-robin over schedulers.
 			sc := widx % len(s.scheds)
 			s.scheds[sc].warps = append(s.scheds[sc].warps, widx)
-			s.scheds[sc].bounds = append(s.scheds[sc].bounds, warpBound{})
+			s.scheds[sc].bounds = append(s.scheds[sc].bounds, 0)
 		}
 	}
 	for wi, widx := range bs.warps {
-		*s.boundOf(widx) = warpBound{}
+		*s.boundOf(widx) = 0
 		w := &s.warps[widx]
 		visits := w.visits
 		if visits == nil {
@@ -272,21 +284,13 @@ func growWarp(warps []warpState) []warpState {
 
 // boundOf locates warp widx's cached bound inside its scheduler's
 // dense bound array (round-robin deal: scheduler widx%N, slot widx/N).
-func (s *sm) boundOf(widx int) *warpBound {
+func (s *sm) boundOf(widx int) *int64 {
 	n := len(s.scheds)
 	return &s.scheds[widx%n].bounds[widx/n]
 }
 
 func (s *sm) allDone() bool {
-	if s.nextBlock < len(s.blockQueue) {
-		return false
-	}
-	for i := range s.slots {
-		if !s.slots[i].done {
-			return false
-		}
-	}
-	return true
+	return s.nextBlock >= len(s.blockQueue) && s.doneSlots == len(s.slots)
 }
 
 // ready reports whether warp w can issue at cycle now, the stall reason
@@ -409,6 +413,7 @@ func (s *sm) icacheCheck(w *warpState, target int, now int64) {
 	// Miss: evict LRU if full, install, stall the warp. Misses are
 	// serviced through a shared fetch unit, so concurrent misses
 	// serialize (GPU.FetchSerializeCycles each).
+	s.steady.missCount++
 	if s.icacheResident >= s.icacheCap {
 		lruLine := -1
 		lruCycle := farFuture
@@ -453,11 +458,7 @@ func (s *sm) issue(sc *scheduler, widx int, now int64) {
 		lat := s.memLatency(w, pc, tx)
 		if m.flags&metaNeedMSHR != 0 {
 			s.mshrFree -= tx
-			cycle := now + lat
-			s.releases = append(s.releases, mshrRelease{cycle: cycle, count: tx})
-			if cycle < s.minRelease {
-				s.minRelease = cycle
-			}
+			s.pushRelease(mshrRelease{cycle: now + lat, count: tx})
 		}
 		if wb := m.writeBar; wb != int8(sass.NoBarrier) {
 			w.barReady[wb] = now + lat
@@ -480,6 +481,27 @@ func (s *sm) issue(sc *scheduler, widx int, now int64) {
 		visit := int(w.visits[pc])
 		w.visits[pc]++
 		taken := in.Unconditional() || s.wl.Taken(w.ctx, pc, visit)
+		if st := &s.steady; st.enabled {
+			if st.recording {
+				st.execs = append(st.execs, steadyExec{
+					widx: int32(widx), pc: int32(pc),
+					outcome: taken, probe: !in.Unconditional(),
+				})
+			}
+			if taken && s.p.Target(pc) <= pc {
+				// A taken backward branch is a loop back-edge: the
+				// anchor warp's back-edges are where fingerprints are
+				// compared. If the anchor warp parked (exited or
+				// barrier-blocked), the first other warp to take a
+				// back-edge inherits the anchor.
+				if widx == st.anchorWarp {
+					st.anchorHit = true
+				} else if aw := &s.warps[st.anchorWarp]; aw.exited || aw.barWait {
+					st.reelect(widx)
+					st.anchorHit = true
+				}
+			}
+		}
 		if taken {
 			w.pc = s.p.Target(pc)
 			s.icacheCheck(w, w.pc, now)
@@ -536,7 +558,7 @@ func (s *sm) maybeReleaseBarrier(slot *blockSlot) {
 	if slot.aliveCount > 0 && slot.arrived >= slot.aliveCount {
 		for _, widx := range slot.warps {
 			s.warps[widx].barWait = false
-			s.boundOf(widx).bound = 0
+			*s.boundOf(widx) = 0
 			s.scheds[widx%len(s.scheds)].nextReady = 0
 		}
 		slot.arrived = 0
@@ -548,24 +570,21 @@ func (s *sm) maybeReleaseBarrier(slot *blockSlot) {
 // Freed slots can only wake warps stalled on ReasonMemoryThrottle:
 // their cached boundMSHR entries expire (mshrGen) and their throttled
 // schedulers rescan. Every other cached bound is a pure time bound a
-// release cannot move, so it survives.
+// release cannot move, so it survives. The pending releases form a
+// binary min-heap on cycle, so a call pops only the due entries
+// instead of compacting the whole list.
 func (s *sm) processReleases(now int64) {
-	kept := s.releases[:0]
-	next := farFuture
 	released := false
-	for _, r := range s.releases {
-		if r.cycle <= now {
-			s.mshrFree += r.count
-			released = true
-		} else {
-			if r.cycle < next {
-				next = r.cycle
-			}
-			kept = append(kept, r)
-		}
+	for len(s.releases) > 0 && s.releases[0].cycle <= now {
+		s.mshrFree += s.releases[0].count
+		released = true
+		s.popRelease()
 	}
-	s.releases = kept
-	s.minRelease = next
+	if len(s.releases) > 0 {
+		s.minRelease = s.releases[0].cycle
+	} else {
+		s.minRelease = farFuture
+	}
 	if released {
 		s.mshrGen++
 		for si := range s.scheds {
@@ -574,6 +593,49 @@ func (s *sm) processReleases(now int64) {
 			}
 		}
 	}
+}
+
+// pushRelease adds a pending MSHR release to the min-heap and keeps
+// minRelease at the root.
+func (s *sm) pushRelease(r mshrRelease) {
+	h := append(s.releases, r)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].cycle <= h[i].cycle {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	s.releases = h
+	if h[0].cycle < s.minRelease {
+		s.minRelease = h[0].cycle
+	}
+}
+
+// popRelease removes the heap root (the earliest pending release).
+func (s *sm) popRelease() {
+	h := s.releases
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= last {
+			break
+		}
+		if r := l + 1; r < last && h[r].cycle < h[l].cycle {
+			l = r
+		}
+		if h[i].cycle <= h[l].cycle {
+			break
+		}
+		h[i], h[l] = h[l], h[i]
+		i = l
+	}
+	s.releases = h
 }
 
 // sampleTick records one PC sample: the sampling unit cycles round-robin
@@ -622,6 +684,11 @@ func (s *sm) sampleTick(now int64) {
 		smp.Reason = reason
 	}
 	sink.Record(smp)
+	if st := &s.steady; st.recording {
+		rel := smp
+		rel.Cycle -= st.baseNow
+		st.samples = append(st.samples, rel)
+	}
 }
 
 // run drives the SM to completion and returns the final cycle.
@@ -676,6 +743,13 @@ func (s *sm) run(ctx context.Context, maxCycles int64) (int64, error) {
 			s.sampleTick(now)
 			nextTick += period
 		}
+		if s.steady.anchorHit {
+			// The anchor warp took a loop back-edge this cycle: run the
+			// steady-state detector on the post-scan, post-tick state —
+			// it may fast-forward whole periods (see steady.go).
+			s.steady.anchorHit = false
+			now, nextTick = s.steadyAnchor(now, nextTick, period, maxCycles)
+		}
 		if step || s.allDone() {
 			// Stepper mode walks cycle by cycle; a completed SM (the
 			// pass above issued its last EXIT) finishes one cycle after
@@ -727,9 +801,10 @@ func (s *sm) scan(sc *scheduler, now int64, step bool) {
 	n := len(warps)
 	bound := farFuture
 	seq := s.wakeSeq
-	mshrGen := s.mshrGen
+	mshrStale := sc.mshrSeen != s.mshrGen
 	sc.throttled = false
 	throttled := false
+	complete := true
 	// Walk [start, n) then [0, start): two contiguous ranges instead of
 	// a modular index on every iteration. start is captured up front —
 	// an issue moves sc.rotate mid-scan, but the scan must still cover
@@ -742,10 +817,9 @@ scanLoop:
 			lo, hi = 0, start
 		}
 		bounds := sc.bounds[lo:hi:hi]
-		for i, wbe := range bounds {
-			wb := wbe.bound
+		for i, wb := range bounds {
 			slot := lo + i
-			if step || wb <= now || (wb == boundMSHR && wbe.gen != mshrGen) {
+			if step || wb <= now || (wb == boundMSHR && mshrStale) {
 				widx := warps[slot]
 				w := &s.warps[widx]
 				ok, _, b := s.ready(sc, w, now)
@@ -762,7 +836,7 @@ scanLoop:
 					// cycle; its refreshed gates bound its next issue.
 					_, _, b = s.ready(sc, w, now)
 				}
-				bounds[i] = warpBound{bound: b, gen: mshrGen}
+				bounds[i] = b
 				wb = b
 			}
 			if wb == boundMSHR {
@@ -781,9 +855,16 @@ scanLoop:
 				// throttled flag only matters for schedulers whose
 				// cursor lets them sleep — which an early-out cursor
 				// never does.
+				complete = false
 				break scanLoop
 			}
 		}
+	}
+	if complete {
+		// Every boundMSHR entry was re-probed under the current MSHR
+		// generation; an early-out scan leaves mshrSeen stale so the
+		// skipped entries are re-probed next time.
+		sc.mshrSeen = s.mshrGen
 	}
 	sc.throttled = throttled
 	if s.wakeSeq != seq {

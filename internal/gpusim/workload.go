@@ -135,6 +135,89 @@ func (b *boundWorkload) Taken(w WarpCtx, pc, visit int) bool {
 	return b.def
 }
 
+// TakenRun implements TakenStability. Explicit taken-pattern closures
+// are opaque (possibly stateful at Parallelism 1), so sites bound
+// through Spec.Taken report unknown; trip-count sites are the pure
+// cycle visit%(n+1) != n and admit a closed-form answer; unlisted
+// sites are the constant DefaultTaken.
+func (b *boundWorkload) TakenRun(w WarpCtx, pc, visit, stride int, want bool, limit int64) int64 {
+	if limit <= 0 {
+		return 0
+	}
+	if _, ok := b.taken[pc]; ok {
+		return -1
+	}
+	if fn, ok := b.trips[pc]; ok {
+		n := fn(w)
+		if n <= 0 {
+			// Never taken: every visit yields false.
+			if !want {
+				return limit
+			}
+			return 0
+		}
+		// Outcome of visit v is (v mod m != n) with m = n+1; successive
+		// probes sit at v = visit + j·stride. Count leading j with the
+		// wanted outcome.
+		m := int64(n) + 1
+		a := ((int64(visit) % m) + m) % m
+		s := ((int64(stride) % m) + m) % m
+		if !want {
+			// want the single residue a == n.
+			if a != int64(n) {
+				return 0
+			}
+			if s == 0 {
+				return limit
+			}
+			return 1
+		}
+		// want any residue != n: find the first j with a + j·s ≡ n (mod m).
+		d := ((int64(n)-a)%m + m) % m
+		if d == 0 {
+			return 0
+		}
+		if s == 0 {
+			return limit
+		}
+		g := gcd64(s, m)
+		if d%g != 0 {
+			return limit
+		}
+		mg := m / g
+		j0 := (d / g % mg) * modInv64(s/g%mg, mg) % mg
+		return min(j0, limit)
+	}
+	if want == b.def {
+		return limit
+	}
+	return 0
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// modInv64 returns the multiplicative inverse of a modulo m; the caller
+// guarantees gcd(a, m) == 1.
+func modInv64(a, m int64) int64 {
+	if m == 1 {
+		return 0
+	}
+	// Extended Euclid.
+	r0, r1 := m, ((a%m)+m)%m
+	t0, t1 := int64(0), int64(1)
+	for r1 != 0 {
+		q := r0 / r1
+		r0, r1 = r1, r0-q*r1
+		t0, t1 = t1, t0-q*t1
+	}
+	return ((t0 % m) + m) % m
+}
+
 func (b *boundWorkload) Latency(w WarpCtx, pc, visit int) int {
 	if fn, ok := b.latency[pc]; ok {
 		return fn(w, visit)
@@ -155,6 +238,14 @@ type NopWorkload struct{}
 
 // Taken always reports false.
 func (NopWorkload) Taken(WarpCtx, int, int) bool { return false }
+
+// TakenRun implements TakenStability: every outcome is false.
+func (NopWorkload) TakenRun(_ WarpCtx, _, _, _ int, want bool, limit int64) int64 {
+	if want {
+		return 0
+	}
+	return max(limit, 0)
+}
 
 // Latency always defers to the default model.
 func (NopWorkload) Latency(WarpCtx, int, int) int { return 0 }

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"gpa"
 	"gpa/internal/arch"
@@ -49,20 +50,64 @@ type Variant struct {
 	Spec   *gpa.WorkloadSpec
 }
 
-// Build assembles the variant and binds its workload.
+// builtVariant memoizes one variant's front-end build; the once makes
+// concurrent first builders race-free without holding buildMu across
+// assembly.
+type builtVariant struct {
+	once sync.Once
+	k    *gpa.Kernel
+	wl   gpa.Workload
+	err  error
+}
+
+// buildKey identifies a variant by content: the same assembly, launch
+// shape, and spec binding always produce the same kernel, so sharing
+// one build across equal variants is observationally free.
+type buildKey struct {
+	asm    string
+	launch gpa.Launch
+	spec   *gpa.WorkloadSpec
+}
+
+var (
+	buildMu    sync.Mutex
+	buildCache = map[buildKey]*builtVariant{}
+)
+
+// Build assembles the variant and binds its workload. The whole
+// front-end — assembly, module flattening, workload binding, and the
+// kernel's lazily memoized program/structure — is
+// architecture-independent, so it runs once per distinct variant and
+// every caller shares the result: a cross-architecture sweep builds
+// each kernel once, not once per model. The returned kernel and
+// workload are safe for concurrent use and must be treated as
+// read-only.
 func (v *Variant) Build() (*gpa.Kernel, gpa.Workload, error) {
-	k, err := gpa.LoadKernelAsm(v.Asm, v.Launch)
-	if err != nil {
-		return nil, nil, err
+	key := buildKey{asm: v.Asm, launch: v.Launch, spec: v.Spec}
+	buildMu.Lock()
+	b := buildCache[key]
+	if b == nil {
+		b = &builtVariant{}
+		buildCache[key] = b
 	}
-	var wl gpa.Workload
-	if v.Spec != nil {
-		wl, err = k.BindWorkload(v.Spec)
+	buildMu.Unlock()
+	b.once.Do(func() {
+		k, err := gpa.LoadKernelAsm(v.Asm, v.Launch)
 		if err != nil {
-			return nil, nil, err
+			b.err = err
+			return
 		}
-	}
-	return k, wl, nil
+		if v.Spec != nil {
+			wl, err := k.BindWorkload(v.Spec)
+			if err != nil {
+				b.err = err
+				return
+			}
+			b.wl = wl
+		}
+		b.k = k
+	})
+	return b.k, b.wl, b.err
 }
 
 // Benchmark is one Table 3 row.

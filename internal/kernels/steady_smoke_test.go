@@ -1,0 +1,41 @@
+package kernels
+
+import (
+	"context"
+	"testing"
+
+	"gpa"
+	"gpa/internal/gpusim"
+)
+
+// TestSteadyFastForwardFiresOnCorpus pins that the steady-state
+// memoizer is live on the evaluation corpus, not just on synthetic
+// oracle kernels: measuring the nw baseline (a barrier-synchronized
+// wavefront loop, periodic at the SM level) must detect a period and
+// skip cycles. The FF counters are process-wide (gpusim.FFStats), so
+// the test asserts on deltas around the run.
+func TestSteadyFastForwardFiresOnCorpus(t *testing.T) {
+	rows := Find("rodinia/nw")
+	if len(rows) == 0 {
+		t.Fatal("no rodinia/nw row")
+	}
+	k, wl, err := rows[0].Base.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, c0, _ := gpusim.FFStats()
+	cycles, err := k.Measure(context.Background(), &gpa.Options{
+		Workload: wl, Seed: 11, SimSMs: 4, Parallelism: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, c1, _ := gpusim.FFStats()
+	if p1-p0 <= 0 || c1-c0 <= 0 {
+		t.Errorf("fast-forward did not fire on rodinia/nw: periods=%d cyclesSkipped=%d",
+			p1-p0, c1-c0)
+	}
+	if skipped := c1 - c0; skipped >= cycles*4 {
+		t.Errorf("skipped %d cycles but 4 SMs only simulate %d total", skipped, cycles*4)
+	}
+}

@@ -1,0 +1,53 @@
+package profiler
+
+import (
+	"context"
+	"runtime/debug"
+	"testing"
+
+	"gpa/internal/arch"
+	"gpa/internal/gpusim"
+	"gpa/internal/sass"
+)
+
+// TestCollectRecycledAllocationFree pins the warm profile path: once
+// the profile pool and the program's arenas are primed, a
+// CollectProgram + Recycle cycle must not allocate at all. Callers that
+// retain profiles (the service cache) simply never recycle and pay the
+// profile's own records; the measured loop is the steady state of a
+// caller that does recycle (gpa.Kernel.Measure's sampling mode, batch
+// sweeps that reduce profiles on the fly).
+func TestCollectRecycledAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under the race detector (its runtime allocates inside the measured window)")
+	}
+	m := sass.MustAssemble(kernelSrc)
+	prog, err := gpusim.Load(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &gpusim.Spec{Trips: map[gpusim.Site]gpusim.TripFunc{
+		{Func: "stencil", Label: "BR0"}: gpusim.UniformTrips(63),
+	}}
+	wl, err := spec.Bind(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	launch := gpusim.LaunchConfig{Entry: "stencil", Grid: gpusim.Dim(4), Block: gpusim.Dim(128), RegsPerThread: 16}
+	opts := Options{GPU: arch.VoltaV100(), SimSMs: 2, Seed: 7, SamplePeriod: 32}
+	ctx := context.Background()
+	do := func() {
+		p, err := CollectProgram(ctx, prog, launch, wl, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		Recycle(p)
+	}
+	do() // prime the profile pool and the program's arenas
+	// A GC between runs would drop the sync.Pool contents and make the
+	// measurement flaky; disable it for the measured window.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	if avg := testing.AllocsPerRun(10, do); avg > 0 {
+		t.Errorf("warm CollectProgram+Recycle allocates %.1f objects/op, want 0", avg)
+	}
+}

@@ -104,6 +104,10 @@ type Profile struct {
 	IssueRatio float64 `json:"issueRatio"`
 
 	Records []PCRecord `json:"records"`
+
+	// freeMaps stashes cleared StallCounts maps harvested by Recycle so
+	// a recycled profile's records repopulate without allocating.
+	freeMaps []StallCounts
 }
 
 // Collect profiles one launch of the module's entry kernel. The
@@ -158,10 +162,11 @@ func CollectProgram(ctx context.Context, prog *gpusim.Program, launch gpusim.Lau
 	sampling.AggregateSamplesInto(agg, samples, len(prog.Instrs))
 
 	gpuKey := arch.KeyOf(opts.GPU)
-	if gpuKey == arch.KeyOf(arch.VoltaV100()) {
+	if gpuKey == defaultGPUKey {
 		gpuKey = "" // default model: omitted for digest stability
 	}
-	p := &Profile{
+	p := getProfile()
+	*p = Profile{
 		Kernel:            launch.Entry,
 		Arch:              mod.Arch,
 		GPU:               gpuKey,
@@ -179,6 +184,9 @@ func CollectProgram(ctx context.Context, prog *gpusim.Program, launch gpusim.Lau
 		ActiveSamples:     agg.Active,
 		LatencySamples:    agg.Latency,
 		IssueRatio:        agg.IssueRatio(),
+
+		Records:  p.Records[:0],
+		freeMaps: p.freeMaps,
 	}
 	for flat, st := range agg.PerPC {
 		if st.Total == 0 && res.IssuedPerPC[flat] == 0 {
@@ -198,13 +206,13 @@ func CollectProgram(ctx context.Context, prog *gpusim.Program, launch gpusim.Lau
 		for r := gpusim.StallReason(1); r < gpusim.NumReasons; r++ {
 			if st.Stalls[r] > 0 {
 				if rec.Stalls == nil {
-					rec.Stalls = StallCounts{}
+					rec.Stalls = p.takeMap()
 				}
 				rec.Stalls[r.String()] = st.Stalls[r]
 			}
 			if st.LatencyStalls[r] > 0 {
 				if rec.LatencyStalls == nil {
-					rec.LatencyStalls = StallCounts{}
+					rec.LatencyStalls = p.takeMap()
 				}
 				rec.LatencyStalls[r.String()] = st.LatencyStalls[r]
 			}
@@ -213,6 +221,11 @@ func CollectProgram(ctx context.Context, prog *gpusim.Program, launch gpusim.Lau
 	}
 	return p, nil
 }
+
+// defaultGPUKey is the registry key of the default model, resolved once
+// (VoltaV100 constructs a fresh model per call; the warm profiling path
+// must not allocate).
+var defaultGPUKey = arch.KeyOf(arch.VoltaV100())
 
 // collectScratch is the per-collection scratch state (sample buffer and
 // per-PC aggregate) recycled between profiling runs.
@@ -230,6 +243,51 @@ func getScratch(bufferCap int) *collectScratch {
 	}
 	sc.buf.Reset(bufferCap)
 	return sc
+}
+
+var profilePool sync.Pool // *Profile
+
+func getProfile() *Profile {
+	p, _ := profilePool.Get().(*Profile)
+	if p == nil {
+		p = &Profile{}
+	}
+	return p
+}
+
+// takeMap hands out a cleared recycled StallCounts map when one is
+// stashed, or a fresh one.
+func (p *Profile) takeMap() StallCounts {
+	if n := len(p.freeMaps); n > 0 {
+		m := p.freeMaps[n-1]
+		p.freeMaps = p.freeMaps[:n-1]
+		return m
+	}
+	return StallCounts{}
+}
+
+// Recycle returns a profile produced by Collect/CollectProgram to the
+// package pool so the next collection reuses its record storage and
+// stall-count maps. It is optional — callers that retain profiles (the
+// advice pipeline keeps them inside Reports) simply never recycle
+// them. After Recycle the profile must not be used.
+func Recycle(p *Profile) {
+	if p == nil {
+		return
+	}
+	for i := range p.Records {
+		rec := &p.Records[i]
+		if rec.Stalls != nil {
+			clear(rec.Stalls)
+			p.freeMaps = append(p.freeMaps, rec.Stalls)
+		}
+		if rec.LatencyStalls != nil {
+			clear(rec.LatencyStalls)
+			p.freeMaps = append(p.freeMaps, rec.LatencyStalls)
+		}
+	}
+	*p = Profile{Records: p.Records[:0], freeMaps: p.freeMaps}
+	profilePool.Put(p)
 }
 
 // Save writes the profile as JSON.

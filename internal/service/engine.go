@@ -259,6 +259,16 @@ type Stats struct {
 	// should show PoolHits tracking PoolGets.
 	PoolGets int64 `json:"poolGets"`
 	PoolHits int64 `json:"poolHits"`
+	// FFPeriodsDetected / FFCyclesSkipped / FFFallbacks are the
+	// simulator's process-wide steady-state memoization counters
+	// (gpusim.FFStats): periods locked and fast-forwarded, simulated
+	// cycles skipped analytically instead of stepped, and detected
+	// periods abandoned without skipping. Periodic workloads show
+	// FFCyclesSkipped dwarfing stepped cycles; aperiodic ones show all
+	// three near zero.
+	FFPeriodsDetected int64 `json:"ffPeriodsDetected"`
+	FFCyclesSkipped   int64 `json:"ffCyclesSkipped"`
+	FFFallbacks       int64 `json:"ffFallbacks"`
 	// AllocsPerJob is the mean number of heap allocations per served
 	// job (hits, coalesced, bypassed, and executed alike) since the
 	// engine was created, measured from runtime.MemStats.Mallocs. It is
@@ -586,6 +596,7 @@ func heapAllocObjects() uint64 {
 func (e *Engine) Stats() Stats {
 	allocs := heapAllocObjects()
 	poolGets, poolHits := gpusim.PoolStats()
+	ffPeriods, ffCycles, ffFallbacks := gpusim.FFStats()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	st := Stats{
@@ -603,6 +614,10 @@ func (e *Engine) Stats() Stats {
 		Workers:      cap(e.sem),
 		PoolGets:     poolGets,
 		PoolHits:     poolHits,
+
+		FFPeriodsDetected: ffPeriods,
+		FFCyclesSkipped:   ffCycles,
+		FFFallbacks:       ffFallbacks,
 	}
 	if jobs := st.Hits + st.Misses + st.Coalesced + st.Bypass; jobs > 0 {
 		st.AllocsPerJob = float64(allocs-e.baseMallocs) / float64(jobs)
