@@ -2,11 +2,18 @@
 // comparing builds: per-row measured cycles and a hash of the full
 // profile (sample counters included) for a few representative rows.
 // Ctrl-C / SIGTERM cancels the in-flight simulation and exits non-zero.
+//
+// With -store-dir the rows are resolved through a store-backed engine
+// instead of the direct library calls, so CI can run the tool twice
+// against one directory — cold, then warm from disk — and diff both
+// outputs against DRIFT.txt to prove store-served artifacts are
+// byte-identical to recomputation.
 package main
 
 import (
 	"context"
 	"errors"
+	"flag"
 	"fmt"
 	"os"
 	"os/signal"
@@ -17,9 +24,13 @@ import (
 )
 
 func main() {
+	storeDir := flag.String("store-dir", "",
+		"resolve rows through a persistent artifact store at this directory "+
+			"(empty = direct library calls)")
+	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx); err != nil {
+	if err := run(ctx, *storeDir); err != nil {
 		if errors.Is(err, gpa.ErrCanceled) {
 			fmt.Fprintln(os.Stderr, "drift-check: interrupted")
 			os.Exit(130)
@@ -29,24 +40,49 @@ func main() {
 	}
 }
 
-func run(ctx context.Context) error {
+func run(ctx context.Context, storeDir string) error {
+	var eng *gpa.Engine
+	if storeDir != "" {
+		st, err := gpa.OpenStore(storeDir)
+		if err != nil {
+			return err
+		}
+		eng = gpa.NewEngine(&gpa.EngineOptions{Store: st})
+	}
 	for _, b := range kernels.All() {
 		k, wl, err := b.Base.Build()
 		if err != nil {
 			return err
 		}
 		opts := &gpa.Options{Workload: wl, Seed: 11, SimSMs: 4}
-		cycles, err := k.Measure(ctx, opts)
-		if err != nil {
-			return err
-		}
-		prof, err := k.Profile(ctx, opts)
-		if err != nil {
-			return err
-		}
-		digest, err := prof.Digest()
-		if err != nil {
-			return err
+		var (
+			cycles int64
+			digest string
+		)
+		if eng != nil {
+			// The store path must print exactly what the direct path
+			// prints; the workload key makes the rows cacheable.
+			key := b.ID() + "/base"
+			m := eng.Do(ctx, gpa.Job{Kind: gpa.JobMeasure, Kernel: k, Options: opts, WorkloadKey: key})
+			if m.Err != nil {
+				return m.Err
+			}
+			p := eng.Do(ctx, gpa.Job{Kind: gpa.JobProfile, Kernel: k, Options: opts, WorkloadKey: key})
+			if p.Err != nil {
+				return p.Err
+			}
+			cycles, digest = m.Cycles, p.ProfileDigest
+		} else {
+			if cycles, err = k.Measure(ctx, opts); err != nil {
+				return err
+			}
+			prof, err := k.Profile(ctx, opts)
+			if err != nil {
+				return err
+			}
+			if digest, err = prof.Digest(); err != nil {
+				return err
+			}
 		}
 		fmt.Printf("%-60s cycles=%-10d profile=%s\n", b.ID(), cycles, digest[:16])
 	}

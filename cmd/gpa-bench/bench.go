@@ -40,6 +40,12 @@ type benchSnapshot struct {
 	// sizes 1 and 4.
 	Engine []engineStageResult `json:"engine,omitempty"`
 
+	// Store records the persistent artifact store's effect: a cold pass
+	// into an empty directory, restart-warm passes (fresh engines over
+	// the populated directory, simulating daemon restarts — zero
+	// simulations), and an arch sweep reusing the module front-end.
+	Store []storeStageResult `json:"store,omitempty"`
+
 	// ParallelSpeedup is simulate_seq / simulate_par (concurrent SMs).
 	ParallelSpeedup float64 `json:"parallelSpeedup"`
 	// BaselineSimulateNs is an externally measured reference for the
@@ -89,6 +95,29 @@ type engineStageResult struct {
 	FFCyclesPerKernel float64 `json:"ffCyclesPerKernel"`
 }
 
+type storeStageResult struct {
+	Name string `json:"name"`
+	// Kernels is the batch size (Table 3 rows, or arch models for the
+	// sweep row).
+	Kernels       int     `json:"kernels"`
+	Reps          int     `json:"reps"`
+	NsPerKernel   float64 `json:"nsPerKernel"`
+	KernelsPerSec float64 `json:"kernelsPerSec"`
+	// Runs/Sims are the final engine's pipeline and simulator counters:
+	// the restart-warm row must report both as zero (every response came
+	// straight off disk).
+	Runs int64 `json:"runs"`
+	Sims int64 `json:"sims"`
+	// StageServed counts responses assembled entirely from stored
+	// artifacts without a pipeline run.
+	StageServed int64 `json:"stageServed,omitempty"`
+	// StructureBuilds counts module front-end analyses: the arch-sweep
+	// row must report exactly one for its whole model fan-out.
+	StructureBuilds int64 `json:"structureBuilds,omitempty"`
+	StoreHits       int64 `json:"storeHits,omitempty"`
+	StorePuts       int64 `json:"storePuts,omitempty"`
+}
+
 // stageCost is one timed stage's mean per-op wall-clock, allocation,
 // and fast-forward cost.
 type stageCost struct {
@@ -128,7 +157,7 @@ func timeStage(reps int, fn func() error) (stageCost, error) {
 // runBenchSnapshot times the pipeline stages on the representative
 // rodinia/hotspot row at SimSMs=4 on the selected GPU model (nil = the
 // default V100) and writes the snapshot JSON.
-func runBenchSnapshot(ctx context.Context, path string, reps int, seed uint64, baselineNs float64, gpu *arch.GPU) error {
+func runBenchSnapshot(ctx context.Context, path string, reps int, seed uint64, baselineNs float64, gpu *arch.GPU, storeDir string) error {
 	if reps <= 0 {
 		reps = 1
 	}
@@ -162,7 +191,7 @@ func runBenchSnapshot(ctx context.Context, path string, reps int, seed uint64, b
 	ffOpts := &gpa.Options{GPU: gpu, Workload: ffWL, Seed: seed, SimSMs: simSMs, Parallelism: 1}
 
 	snap := &benchSnapshot{
-		Schema:       "gpa-bench-snapshot/3",
+		Schema:       "gpa-bench-snapshot/4",
 		Generated:    time.Now().UTC().Format(time.RFC3339),
 		GoVersion:    runtime.Version(),
 		NumCPU:       runtime.NumCPU(),
@@ -223,6 +252,15 @@ func runBenchSnapshot(ctx context.Context, path string, reps int, seed uint64, b
 		fmt.Printf("bench: %-14s %14.0f ns/kernel (%.1f kernels/sec, %d workers, %.1f allocs/kernel)\n",
 			st.Name, st.NsPerKernel, st.KernelsPerSec, st.Workers, st.AllocsPerKernel)
 	}
+	storeStages, err := benchStore(ctx, reps, seed, gpu, storeDir)
+	if err != nil {
+		return fmt.Errorf("bench: store: %w", err)
+	}
+	snap.Store = storeStages
+	for _, st := range storeStages {
+		fmt.Printf("bench: %-18s %14.0f ns/kernel (%.1f kernels/sec, runs=%d sims=%d)\n",
+			st.Name, st.NsPerKernel, st.KernelsPerSec, st.Runs, st.Sims)
+	}
 	if byName["simulate_par"] > 0 {
 		snap.ParallelSpeedup = byName["simulate_seq"] / byName["simulate_par"]
 	}
@@ -246,7 +284,9 @@ func runBenchSnapshot(ctx context.Context, path string, reps int, seed uint64, b
 // pass (same engine again, every job a cache hit), at worker-pool
 // sizes 1 and 4. Throughput is kernels advised per second of
 // wall-clock batch time.
-func benchEngine(ctx context.Context, reps int, seed uint64, gpu *arch.GPU) ([]engineStageResult, error) {
+// table3Jobs builds an advise job for every Table 3 baseline kernel
+// (the batch both benchEngine and benchStore push through an engine).
+func table3Jobs(seed uint64, gpu *arch.GPU) ([]gpa.Job, error) {
 	rows := kernels.All()
 	jobs := make([]gpa.Job, len(rows))
 	for i, b := range rows {
@@ -262,6 +302,14 @@ func benchEngine(ctx context.Context, reps int, seed uint64, gpu *arch.GPU) ([]e
 			},
 			WorkloadKey: b.ID() + "/base",
 		}
+	}
+	return jobs, nil
+}
+
+func benchEngine(ctx context.Context, reps int, seed uint64, gpu *arch.GPU) ([]engineStageResult, error) {
+	jobs, err := table3Jobs(seed, gpu)
+	if err != nil {
+		return nil, err
 	}
 	doAll := func(eng *gpa.Engine) error {
 		for _, r := range eng.DoAll(ctx, jobs) {
@@ -308,6 +356,147 @@ func benchEngine(ctx context.Context, reps int, seed uint64, gpu *arch.GPU) ([]e
 			out = append(out, st)
 		}
 	}
+	return out, nil
+}
+
+// benchStore times the persistent artifact store over the Table 3
+// batch. store_cold fills an empty directory; store_restart_warm
+// builds a brand-new engine over the populated directory each rep — a
+// simulated daemon restart — and must complete the whole batch with
+// zero pipeline runs and zero simulations. store_arch_sweep fans one
+// kernel across every registered model through a store-backed engine
+// and must analyze the module's structure exactly once. baseDir names
+// where the store directories live ("" = a throwaway temp dir).
+func benchStore(ctx context.Context, reps int, seed uint64, gpu *arch.GPU, baseDir string) ([]storeStageResult, error) {
+	jobs, err := table3Jobs(seed, gpu)
+	if err != nil {
+		return nil, err
+	}
+	if baseDir == "" {
+		tmp, err := os.MkdirTemp("", "gpa-bench-store-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		baseDir = tmp
+	}
+	newEngine := func(dir string) (*gpa.Engine, error) {
+		st, err := gpa.OpenStore(dir)
+		if err != nil {
+			return nil, err
+		}
+		return gpa.NewEngine(&gpa.EngineOptions{Workers: 4, Store: st}), nil
+	}
+	doAll := func(eng *gpa.Engine) error {
+		for _, r := range eng.DoAll(ctx, jobs) {
+			if r.Err != nil {
+				return r.Err
+			}
+		}
+		return nil
+	}
+	row := func(name string, n, repCount int, cost stageCost, st gpa.EngineStats) storeStageResult {
+		r := storeStageResult{
+			Name: name, Kernels: n, Reps: repCount, NsPerKernel: cost.ns / float64(n),
+			Runs: st.Runs, Sims: st.Sims, StageServed: st.StageServed,
+			StructureBuilds: st.StructureBuilds,
+			StoreHits:       st.StoreHits, StorePuts: st.StorePuts,
+		}
+		if r.NsPerKernel > 0 {
+			r.KernelsPerSec = 1e9 / r.NsPerKernel
+		}
+		return r
+	}
+	var out []storeStageResult
+
+	// Cold: a fresh directory per rep so every rep pays the full
+	// simulate-and-persist cost.
+	coldReps := max(1, reps/5)
+	var coldStats gpa.EngineStats
+	coldCost, err := timeStage(coldReps, func() error {
+		dir, err := os.MkdirTemp(baseDir, "cold-*")
+		if err != nil {
+			return err
+		}
+		eng, err := newEngine(dir)
+		if err != nil {
+			return err
+		}
+		if err := doAll(eng); err != nil {
+			return err
+		}
+		coldStats = eng.Stats()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, row("store_cold", len(jobs), coldReps, coldCost, coldStats))
+
+	// Restart-warm: populate one directory, then time fresh engines over
+	// it — reopening the store is part of the measured restart cost.
+	warmDir, err := os.MkdirTemp(baseDir, "warm-*")
+	if err != nil {
+		return nil, err
+	}
+	prewarm, err := newEngine(warmDir)
+	if err != nil {
+		return nil, err
+	}
+	if err := doAll(prewarm); err != nil {
+		return nil, err
+	}
+	var warmStats gpa.EngineStats
+	warmCost, err := timeStage(reps, func() error {
+		eng, err := newEngine(warmDir)
+		if err != nil {
+			return err
+		}
+		if err := doAll(eng); err != nil {
+			return err
+		}
+		warmStats = eng.Stats()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if warmStats.Sims != 0 || warmStats.Runs != 0 {
+		return nil, fmt.Errorf("restart-warm engine simulated: runs=%d sims=%d, want 0/0",
+			warmStats.Runs, warmStats.Sims)
+	}
+	out = append(out, row("store_restart_warm", len(jobs), reps, warmCost, warmStats))
+
+	// Arch sweep: one module over every registered model; the store's
+	// frontend stage makes the structure analysis happen exactly once.
+	sweepDir, err := os.MkdirTemp(baseDir, "sweep-*")
+	if err != nil {
+		return nil, err
+	}
+	sweepEng, err := newEngine(sweepDir)
+	if err != nil {
+		return nil, err
+	}
+	var sweepStats gpa.EngineStats
+	nGPUs := len(arch.All())
+	sweepCost, err := timeStage(1, func() error {
+		_, results := sweepEng.Sweep(ctx, jobs[0], nil)
+		for _, r := range results {
+			if r.Err != nil {
+				return r.Err
+			}
+		}
+		sweepStats = sweepEng.Stats()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if sweepStats.StructureBuilds != 1 {
+		return nil, fmt.Errorf("arch sweep analyzed module structure %d times, want 1",
+			sweepStats.StructureBuilds)
+	}
+	out = append(out, row("store_arch_sweep", nGPUs, 1, sweepCost, sweepStats))
 	return out, nil
 }
 

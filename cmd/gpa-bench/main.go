@@ -101,6 +101,9 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
 	benchOut := flag.String("bench", "", "time the pipeline stages and write a BENCH_*.json snapshot to `file`")
 	benchReps := flag.Int("bench-reps", 10, "repetitions per stage for -bench")
+	storeDir := flag.String("store-dir", "",
+		"persistent artifact store `directory` backing the shared engine and the -bench "+
+			"store rows (empty = in-memory only; -bench uses throwaway temp dirs)")
 	baselineNs := flag.Float64("bench-baseline-ns", 0,
 		"externally measured reference ns/op for the sequential simulate stage (e.g. the seed commit), recorded in the -bench snapshot")
 	flag.Parse()
@@ -133,8 +136,15 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 	cfg := sweepConfig{seed: *seed, parallel: *parallel}
-	if *parallel || *archSweep {
-		cfg.engine = gpa.NewEngine(nil)
+	var store *gpa.Store
+	if *storeDir != "" {
+		var err error
+		if store, err = gpa.OpenStore(*storeDir); err != nil {
+			fail(err)
+		}
+	}
+	if *parallel || *archSweep || store != nil {
+		cfg.engine = gpa.NewEngine(&gpa.EngineOptions{Store: store})
 	}
 	if *archName != "" {
 		g, err := arch.Lookup(*archName)
@@ -173,7 +183,7 @@ func main() {
 		}
 	}
 	if *benchOut != "" {
-		if err := runBenchSnapshot(ctx, *benchOut, *benchReps, *seed, *baselineNs, cfg.gpu); err != nil {
+		if err := runBenchSnapshot(ctx, *benchOut, *benchReps, *seed, *baselineNs, cfg.gpu, *storeDir); err != nil {
 			fail(err)
 		}
 	}

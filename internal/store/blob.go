@@ -1,0 +1,161 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Blob framing. Every on-disk artifact is a self-describing envelope:
+//
+//	magic   [8]byte  "GPASTOR1" (framing version; bump on layout change)
+//	schema  u16 len + bytes     (caller's payload-schema string)
+//	stage   u16 len + bytes     (pipeline stage name)
+//	key     [32]byte            (the content-addressed stage key)
+//	payload u64 len + bytes
+//	sum     [32]byte            (SHA-256 over everything above)
+//
+// The schema, stage, and key ride inside the checksummed region, so a
+// blob renamed to another key, served for another stage, or written by
+// a build with a different payload schema fails verification exactly
+// like a bit flip: decode returns an error and the store reports a
+// miss. Lengths are bounded before any allocation, so a hostile or
+// truncated file can never make decode panic or balloon.
+
+var blobMagic = [8]byte{'G', 'P', 'A', 'S', 'T', 'O', 'R', '1'}
+
+const (
+	// maxNameLen bounds the schema and stage strings in the framing.
+	maxNameLen = 1 << 10
+	// maxPayloadLen bounds a payload decode will allocate for. Profiles
+	// for the bundled corpus are a few hundred KB; 1 GiB is far above
+	// any legitimate artifact while still refusing a forged length that
+	// would attempt an absurd allocation.
+	maxPayloadLen = 1 << 30
+)
+
+// errCorrupt tags every verification failure; decodeBlob wraps it with
+// the specific cause for logs and tests.
+var errCorrupt = errors.New("store: corrupt blob")
+
+// EncodeBlob frames a payload exactly as Put writes it. Exposed for
+// offline tooling and for fault-injection tests that need to plant
+// checksum-valid blobs with hostile identities or payloads; normal
+// callers go through Put.
+func EncodeBlob(schema, stage string, key Key, payload []byte) []byte {
+	return encodeBlob(schema, stage, key, payload)
+}
+
+// encodeBlob frames a payload. The returned slice is freshly allocated.
+// Schema and stage names are caller-owned constants; exceeding the
+// framing bound is a programming error, not a runtime condition.
+func encodeBlob(schema, stage string, key Key, payload []byte) []byte {
+	if len(schema) > maxNameLen || len(stage) > maxNameLen {
+		panic("store: schema/stage name exceeds framing bound")
+	}
+	n := len(blobMagic) + 2 + len(schema) + 2 + len(stage) + len(key) + 8 + len(payload) + sha256.Size
+	b := make([]byte, 0, n)
+	b = append(b, blobMagic[:]...)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(schema)))
+	b = append(b, schema...)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(stage)))
+	b = append(b, stage...)
+	b = append(b, key[:]...)
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(payload)))
+	b = append(b, payload...)
+	sum := sha256.Sum256(b)
+	return append(b, sum[:]...)
+}
+
+// decodeBlob verifies a framed blob against the expected schema, stage,
+// and key and returns its payload (aliasing data). Any mismatch —
+// framing, lengths, identity, or checksum — returns an error wrapping
+// errCorrupt; decode never panics on arbitrary input.
+func decodeBlob(data []byte, schema, stage string, key Key) ([]byte, error) {
+	r := blobReader{data: data}
+	magic, ok := r.take(len(blobMagic))
+	if !ok || !bytes.Equal(magic, blobMagic[:]) {
+		return nil, fmt.Errorf("%w: bad magic", errCorrupt)
+	}
+	gotSchema, ok := r.name()
+	if !ok {
+		return nil, fmt.Errorf("%w: truncated schema", errCorrupt)
+	}
+	gotStage, ok := r.name()
+	if !ok {
+		return nil, fmt.Errorf("%w: truncated stage", errCorrupt)
+	}
+	gotKey, ok := r.take(len(key))
+	if !ok {
+		return nil, fmt.Errorf("%w: truncated key", errCorrupt)
+	}
+	plen, ok := r.u64()
+	if !ok || plen > maxPayloadLen {
+		return nil, fmt.Errorf("%w: bad payload length", errCorrupt)
+	}
+	payload, ok := r.take(int(plen))
+	if !ok {
+		return nil, fmt.Errorf("%w: truncated payload", errCorrupt)
+	}
+	body := data[:r.off]
+	sum, ok := r.take(sha256.Size)
+	if !ok || r.off != len(data) {
+		return nil, fmt.Errorf("%w: truncated checksum", errCorrupt)
+	}
+	want := sha256.Sum256(body)
+	if subtle.ConstantTimeCompare(sum, want[:]) != 1 {
+		return nil, fmt.Errorf("%w: checksum mismatch", errCorrupt)
+	}
+	// Identity checks come after the checksum so the error names the
+	// real cause: a checksum-valid blob under the wrong identity is a
+	// misfiled blob, not a damaged one.
+	if string(gotSchema) != schema {
+		return nil, fmt.Errorf("%w: schema %q, want %q", errCorrupt, gotSchema, schema)
+	}
+	if string(gotStage) != stage {
+		return nil, fmt.Errorf("%w: stage %q, want %q", errCorrupt, gotStage, stage)
+	}
+	if !bytes.Equal(gotKey, key[:]) {
+		return nil, fmt.Errorf("%w: key mismatch", errCorrupt)
+	}
+	return payload, nil
+}
+
+// blobReader is a bounds-checked cursor over a blob.
+type blobReader struct {
+	data []byte
+	off  int
+}
+
+func (r *blobReader) take(n int) ([]byte, bool) {
+	if n < 0 || len(r.data)-r.off < n {
+		return nil, false
+	}
+	v := r.data[r.off : r.off+n]
+	r.off += n
+	return v, true
+}
+
+func (r *blobReader) u64() (uint64, bool) {
+	v, ok := r.take(8)
+	if !ok {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(v), true
+}
+
+// name reads a u16-length-prefixed string field.
+func (r *blobReader) name() ([]byte, bool) {
+	v, ok := r.take(2)
+	if !ok {
+		return nil, false
+	}
+	n := int(binary.LittleEndian.Uint16(v))
+	if n > maxNameLen {
+		return nil, false
+	}
+	return r.take(n)
+}

@@ -1,0 +1,161 @@
+package store
+
+import (
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+)
+
+// layoutVersion names the on-disk directory layout. It versions the
+// directory shape only; payload compatibility is the schema string's
+// job (it rides inside every blob and in the layout path, so a build
+// with a different payload schema sees an empty store, not garbage).
+const layoutVersion = "v1"
+
+// Disk is the persistent artifact backend: one file per artifact at
+//
+//	<dir>/v1/<schema-slug>/<stage>/<hex[:2]>/<hex>
+//
+// where hex is the stage key. Safe for concurrent use by any number of
+// processes: writes go through a temp file + rename in the destination
+// directory (atomic on POSIX), so readers see either the complete blob
+// or nothing, and the last concurrent writer of a key wins with both
+// having written identical bytes (keys are content addresses).
+type Disk struct {
+	root   string // <dir>/v1/<schema-slug>
+	schema string
+
+	hits    atomic.Int64
+	misses  atomic.Int64
+	puts    atomic.Int64
+	corrupt atomic.Int64
+	errors  atomic.Int64
+}
+
+// Open creates (if needed) and opens an on-disk store rooted at dir.
+// The schema string versions the payload encoding: blobs written under
+// any other schema are invisible (they live under another slug and
+// would fail framing verification anyway), so bumping the schema
+// starts cold instead of misreading old artifacts.
+func Open(dir, schema string) (*Disk, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty store directory")
+	}
+	if schema == "" {
+		return nil, fmt.Errorf("store: empty schema")
+	}
+	root := filepath.Join(dir, layoutVersion, schemaSlug(schema))
+	if err := os.MkdirAll(root, 0o777); err != nil {
+		return nil, fmt.Errorf("store: open: %w", err)
+	}
+	return &Disk{root: root, schema: schema}, nil
+}
+
+// schemaSlug renders a schema string as a single path component.
+func schemaSlug(schema string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '.', r == '_':
+			return r
+		}
+		return '_'
+	}, schema)
+}
+
+// Path returns where the artifact for (stage, key) lives. Exposed for
+// tests and offline tooling; the file may not exist.
+func (d *Disk) Path(stage string, key Key) string {
+	hexKey := hex.EncodeToString(key[:])
+	return filepath.Join(d.root, stage, hexKey[:2], hexKey)
+}
+
+// Get returns the verified payload for (stage, key), or ok=false on a
+// miss. Every failure mode other than "file does not exist" — read
+// errors, truncation, bit flips, wrong schema/stage/key, checksum
+// mismatch — counts as Corrupt, is degraded to a miss, and the
+// offending file is best-effort removed so the recomputed artifact can
+// replace it.
+func (d *Disk) Get(stage string, key Key) ([]byte, bool) {
+	path := d.Path(stage, key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		d.misses.Add(1)
+		if !os.IsNotExist(err) {
+			d.corrupt.Add(1)
+			os.Remove(path)
+		}
+		return nil, false
+	}
+	payload, err := decodeBlob(data, d.schema, stage, key)
+	if err != nil {
+		d.misses.Add(1)
+		d.corrupt.Add(1)
+		os.Remove(path)
+		return nil, false
+	}
+	d.hits.Add(1)
+	return payload, true
+}
+
+// Put writes the payload for (stage, key) atomically. Failures are
+// counted and swallowed: the store is a cache, so a full or read-only
+// disk costs future misses, never correctness. Concurrent Puts of the
+// same key are safe — each writes its own temp file and the renames
+// land whole, identical blobs.
+func (d *Disk) Put(stage string, key Key, payload []byte) {
+	path := d.Path(stage, key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+		d.errors.Add(1)
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".put-*.tmp")
+	if err != nil {
+		d.errors.Add(1)
+		return
+	}
+	blob := encodeBlob(d.schema, stage, key, payload)
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		d.errors.Add(1)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		d.errors.Add(1)
+		return
+	}
+	// No fsync: cache semantics. A crash may lose recent artifacts (a
+	// future miss) but rename atomicity still prevents torn blobs.
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		d.errors.Add(1)
+		return
+	}
+	d.puts.Add(1)
+}
+
+// NoteCorrupt records a payload-level corruption discovered by a
+// caller whose own decoding rejected a checksum-valid blob (the
+// framing proves the bytes, not that they decode to a well-formed
+// artifact), and removes the blob so it is recomputed rather than
+// rejected on every future read.
+func (d *Disk) NoteCorrupt(stage string, key Key) {
+	d.corrupt.Add(1)
+	os.Remove(d.Path(stage, key))
+}
+
+// Stats snapshots the disk counters.
+func (d *Disk) Stats() Stats {
+	return Stats{
+		Hits:    d.hits.Load(),
+		Misses:  d.misses.Load(),
+		Puts:    d.puts.Load(),
+		Corrupt: d.corrupt.Load(),
+		Errors:  d.errors.Load(),
+	}
+}

@@ -1,0 +1,72 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+)
+
+// FuzzBlobDecode throws arbitrary bytes at the blob verifier. The
+// contract under fuzzing: decode never panics, never over-allocates
+// from a forged length, and accepts a blob only when it is the exact
+// framing of some payload under the expected identity — in which case
+// the returned payload must round-trip byte-identically.
+func FuzzBlobDecode(f *testing.F) {
+	key := sha256.Sum256([]byte("fuzz-key"))
+	// Seed with a valid blob, near-miss mutations, and framing edges.
+	valid := encodeBlob("fuzz-schema/1", StageProfile, key, []byte(`{"elapsedMs":1.5,"profile":{}}`))
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte("GPASTOR1"))
+	flipped := append([]byte{}, valid...)
+	flipped[len(flipped)/3] ^= 0x01
+	f.Add(flipped)
+	f.Add(encodeBlob("fuzz-schema/2", StageProfile, key, []byte("wrong schema")))
+	f.Add(encodeBlob("fuzz-schema/1", StageMeasure, key, []byte("wrong stage")))
+	f.Add(encodeBlob("fuzz-schema/1", StageProfile, Key{}, []byte("wrong key")))
+	f.Add(encodeBlob("fuzz-schema/1", StageProfile, key, nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := decodeBlob(data, "fuzz-schema/1", StageProfile, key)
+		if err != nil {
+			return
+		}
+		// Anything decode accepts must be the canonical encoding of its
+		// own payload: re-encoding reproduces the input bytes exactly.
+		if !bytes.Equal(encodeBlob("fuzz-schema/1", StageProfile, key, payload), data) {
+			t.Fatalf("accepted blob is not canonical for its payload (%d bytes)", len(data))
+		}
+	})
+}
+
+// FuzzBlobRoundTrip drives the encoder with arbitrary identities and
+// payloads: encode must frame anything, and decode must verify its own
+// output and return the payload bytes unchanged.
+func FuzzBlobRoundTrip(f *testing.F) {
+	f.Add("schema/1", StageMeasure, []byte("k"), []byte(`{"cycles":1}`))
+	f.Add("", "", []byte{}, []byte{})
+	f.Add("gpa-stage/1+gpa-service-key/2", StageAdvice, []byte("another key seed"),
+		[]byte(`{"elapsedMs":0.5,"report":"r","advice":{"kernel":"k","entries":null}}`))
+
+	f.Fuzz(func(t *testing.T, schema, stage string, keySeed, payload []byte) {
+		if len(schema) > maxNameLen || len(stage) > maxNameLen {
+			return // encoder rejects these by panic: programmer error, not input
+		}
+		key := Key(sha256.Sum256(keySeed))
+		blob := encodeBlob(schema, stage, key, payload)
+		got, err := decodeBlob(blob, schema, stage, key)
+		if err != nil {
+			t.Fatalf("decode of fresh encoding failed: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("payload mutated in round trip: %q -> %q", payload, got)
+		}
+		// A foreign identity must never verify.
+		if schema != "other" {
+			if _, err := decodeBlob(blob, "other", stage, key); err == nil {
+				t.Fatal("blob verified under a different schema")
+			}
+		}
+	})
+}

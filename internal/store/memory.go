@@ -1,0 +1,108 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Memory is the in-process artifact backend: one bounded LRU per
+// stage, holding decoded artifacts (any). It fronts the Disk backend —
+// a disk hit is decoded once and re-added here — and is the only home
+// for stage artifacts that cannot be serialized. Safe for concurrent
+// use.
+type Memory struct {
+	cap int
+	mu  sync.Mutex
+	// stages lazily creates one LRU per stage name; the engine uses a
+	// small fixed set of stages, so this stays tiny.
+	stages map[string]*memLRU
+
+	hits, misses, puts, evictions int64
+}
+
+type memLRU struct {
+	order *list.List // front = most recent; values are *memEntry
+	byKey map[Key]*list.Element
+}
+
+type memEntry struct {
+	key Key
+	v   any
+}
+
+// NewMemory builds a memory backend holding up to entriesPerStage
+// artifacts per stage (0 = 512); a negative bound disables the backend
+// entirely and NewMemory returns nil (nil *Memory is a valid no-op
+// receiver for Get/Add/Stats).
+func NewMemory(entriesPerStage int) *Memory {
+	if entriesPerStage < 0 {
+		return nil
+	}
+	if entriesPerStage == 0 {
+		entriesPerStage = 512
+	}
+	return &Memory{cap: entriesPerStage, stages: map[string]*memLRU{}}
+}
+
+// Get returns the artifact for (stage, key) and marks it most recently
+// used.
+func (m *Memory) Get(stage string, key Key) (any, bool) {
+	if m == nil {
+		return nil, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l := m.stages[stage]
+	if l == nil {
+		m.misses++
+		return nil, false
+	}
+	el, ok := l.byKey[key]
+	if !ok {
+		m.misses++
+		return nil, false
+	}
+	l.order.MoveToFront(el)
+	m.hits++
+	return el.Value.(*memEntry).v, true
+}
+
+// Add stores the artifact for (stage, key) unless one is already
+// present, and returns the artifact actually under the key (the
+// existing one on a race) — LoadOrStore semantics, so concurrent
+// producers of one key converge on a single shared artifact.
+func (m *Memory) Add(stage string, key Key, v any) any {
+	if m == nil {
+		return v
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l := m.stages[stage]
+	if l == nil {
+		l = &memLRU{order: list.New(), byKey: map[Key]*list.Element{}}
+		m.stages[stage] = l
+	}
+	if el, ok := l.byKey[key]; ok {
+		l.order.MoveToFront(el)
+		return el.Value.(*memEntry).v
+	}
+	l.byKey[key] = l.order.PushFront(&memEntry{key: key, v: v})
+	m.puts++
+	if l.order.Len() > m.cap {
+		oldest := l.order.Back()
+		l.order.Remove(oldest)
+		delete(l.byKey, oldest.Value.(*memEntry).key)
+		m.evictions++
+	}
+	return v
+}
+
+// Stats snapshots the memory counters (zero for a nil receiver).
+func (m *Memory) Stats() Stats {
+	if m == nil {
+		return Stats{}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{Hits: m.hits, Misses: m.misses, Puts: m.puts, Evictions: m.evictions}
+}

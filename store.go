@@ -1,0 +1,43 @@
+package gpa
+
+import (
+	"fmt"
+
+	"gpa/internal/service"
+	"gpa/internal/store"
+)
+
+// Store is a persistent per-stage artifact store: every pipeline stage
+// the engine runs — simulation cycles, sampled profiles, ranked advice
+// — is written as a digest-named, checksum-framed blob under one
+// directory, so a restarted daemon (or a second engine pointed at the
+// same directory) starts warm instead of re-paying every cold miss.
+//
+// The store is a cache with a strict corruption contract: blobs that
+// are truncated, bit-flipped, written by a build with a different
+// payload schema, or simply unreadable are treated as misses (counted
+// as StoreCorrupt in EngineStats), recomputed, and rewritten — never
+// surfaced as errors and never served as wrong bytes. Results served
+// through a store are byte-identical to cold runs.
+//
+// A Store is safe for concurrent use by any number of engines and
+// processes (writes are atomic renames). It holds no open file
+// handles, so it needs no Close.
+type Store struct {
+	disk *store.Disk
+}
+
+// OpenStore opens (creating if needed) an artifact store rooted at
+// dir. Blobs are laid out under a versioned subdirectory keyed by the
+// engine's stage schema; opening a directory written by an
+// incompatible build simply starts cold.
+func OpenStore(dir string) (*Store, error) {
+	d, err := service.OpenDisk(dir)
+	if err != nil {
+		return nil, fmt.Errorf("gpa: %w", err)
+	}
+	return &Store{disk: d}, nil
+}
+
+// Stats snapshots the store's hit/miss/put/corrupt counters.
+func (s *Store) Stats() store.Stats { return s.disk.Stats() }
