@@ -1,0 +1,397 @@
+// Command gpa-loadgen is an open-loop load harness for gpad: it fires
+// requests at a fixed arrival rate regardless of how slowly the server
+// answers, which is the only schedule that measures tail latency
+// honestly. A closed loop (send, wait, send) silently slows its
+// arrival rate to match a struggling server and hides exactly the
+// queueing delay an operator needs to see — the coordinated-omission
+// trap. Here every request's latency is measured from its *scheduled*
+// send time, so time spent waiting behind a saturated server counts.
+//
+// The workload mixes the daemon's three kernel-submitting endpoints
+// (advise, profile, sweep) by integer weights with a deterministic
+// interleaving, and -distinct rotates the request seed through N
+// variants to control the cache-hit rate: -distinct 1 is a warm
+// steady-state (one cold miss, then hits), large -distinct keeps the
+// simulator busy (every request a cold miss).
+//
+// The summary is a versioned JSON object ("gpa-loadgen/1"): sent /
+// completed / shed counts, error counts by stable error code, latency
+// percentiles (p50/p90/p99/p999), and the /statsz counter deltas over
+// the run, so a scenario's client-side view and server-side view land
+// in one record. -out writes (or with -append, appends to) a JSON
+// array — the format of BENCH_6.json.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// loadKernelSrc is the SASS kernel every generated request submits: a
+// small global-load loop with enough stall structure for the advisor
+// to rank several optimizers, cheap enough to simulate at double-digit
+// RPS on one core.
+const loadKernelSrc = `
+.module sm_70
+.func vecscale global
+.line vecscale.cu 5
+	MOV R0, 0x0 {S:2}
+	S2R R1, SR_TID.X {S:2, W:5}
+	IMAD R2, R1, 0x4, RZ {S:4, Q:5}
+	IADD R2, R2, c[0x0][0x160] {S:2}
+LOOP:
+.line vecscale.cu 7
+	LDG.E.32 R4, [R2] {S:1, W:0}
+.line vecscale.cu 8
+	FMUL R5, R4, 2f {S:4, Q:0}
+	IADD R2, R2, 0x4 {S:4}
+	IADD R0, R0, 0x1 {S:4}
+	ISETP P0, R0, 0x40 {S:4}
+BR0:	@P0 BRA LOOP {S:5}
+	STG.E.32 [R2], R5 {S:1, R:1}
+	EXIT {Q:1}
+`
+
+// summarySchemaVersion versions the summary record shape.
+const summarySchemaVersion = "gpa-loadgen/1"
+
+// sample is one completed request's outcome.
+type sample struct {
+	latency time.Duration
+	status  int
+	code    string // stable error code ("" on success)
+}
+
+// latencySummary is the percentile block of the summary record.
+type latencySummary struct {
+	P50Ms  float64 `json:"p50Ms"`
+	P90Ms  float64 `json:"p90Ms"`
+	P99Ms  float64 `json:"p99Ms"`
+	P999Ms float64 `json:"p999Ms"`
+	MaxMs  float64 `json:"maxMs"`
+	MeanMs float64 `json:"meanMs"`
+}
+
+// summary is the versioned result record.
+type summary struct {
+	SchemaVersion string  `json:"schemaVersion"`
+	Scenario      string  `json:"scenario,omitempty"`
+	Addr          string  `json:"addr"`
+	RPS           float64 `json:"rps"`
+	DurationSec   float64 `json:"durationSeconds"`
+	Mix           string  `json:"mix"`
+	Distinct      int     `json:"distinct"`
+	Grid          int     `json:"grid"`
+	Sent          int     `json:"sent"`
+	Completed     int     `json:"completed"`
+	OK            int     `json:"ok"`
+	Shed          int     `json:"shed"`
+	// Errors counts non-2xx responses and transport failures by stable
+	// error code (queue_full appears both here and in Shed).
+	Errors  map[string]int `json:"errors,omitempty"`
+	Latency latencySummary `json:"latencyMs"`
+	// StatszDelta is the change in every numeric /statsz counter over
+	// the run (server-side view of the same interval).
+	StatszDelta map[string]float64 `json:"statszDelta,omitempty"`
+}
+
+// mixEntry is one weighted endpoint kind.
+type mixEntry struct {
+	kind   string
+	weight int
+}
+
+// parseMix parses "advise=8,profile=1,sweep=1".
+func parseMix(s string) ([]mixEntry, error) {
+	var out []mixEntry
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		kind := strings.TrimSpace(kv[0])
+		switch kind {
+		case "advise", "profile", "sweep":
+		default:
+			return nil, fmt.Errorf("unknown mix kind %q (want advise, profile, or sweep)", kind)
+		}
+		w := 1
+		if len(kv) == 2 {
+			var err error
+			if w, err = strconv.Atoi(strings.TrimSpace(kv[1])); err != nil || w < 0 {
+				return nil, fmt.Errorf("bad weight in %q", part)
+			}
+		}
+		if w > 0 {
+			out = append(out, mixEntry{kind: kind, weight: w})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty mix")
+	}
+	return out, nil
+}
+
+// schedule expands weighted kinds into a deterministic interleaved
+// cycle (smooth weighted round-robin), so a 8/1/1 mix sends its rare
+// kinds spread through the cycle rather than bunched at the end.
+func schedule(mix []mixEntry) []string {
+	total := 0
+	for _, m := range mix {
+		total += m.weight
+	}
+	current := make([]int, len(mix))
+	out := make([]string, 0, total)
+	for len(out) < total {
+		best := -1
+		for i, m := range mix {
+			current[i] += m.weight
+			if best < 0 || current[i] > current[best] {
+				best = i
+			}
+		}
+		current[best] -= total
+		out = append(out, mix[best].kind)
+	}
+	return out
+}
+
+// body builds the request body for one tick. The seed rotates through
+// -distinct values so consecutive requests can be forced cold; every
+// field that affects results is otherwise constant, keeping the run a
+// pure cache-behavior experiment. grid scales per-request simulation
+// cost (more blocks = longer runs), which is how overload scenarios
+// push a worker pool past saturation at moderate arrival rates.
+func body(kind string, seq, distinct, grid int) (path string, payload map[string]any) {
+	payload = map[string]any{
+		"asm": loadKernelSrc, "gridX": grid, "blockX": 256,
+		"seed": 1 + seq%distinct,
+	}
+	switch kind {
+	case "profile":
+		return "/v1/profile", payload
+	case "sweep":
+		payload["archs"] = []string{"v100", "t4"}
+		return "/v1/sweep", payload
+	}
+	return "/v1/advise", payload
+}
+
+// errorCode extracts the stable error code from a gpad error body.
+func errorCode(respBody []byte, status int) string {
+	var eb struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(respBody, &eb); err == nil && eb.Error.Code != "" {
+		return eb.Error.Code
+	}
+	return fmt.Sprintf("http_%d", status)
+}
+
+// statszNumbers fetches /statsz as a flat numeric map ("" addr-level
+// errors return nil: the harness works against servers without the
+// endpoint too).
+func statszNumbers(client *http.Client, addr string) map[string]float64 {
+	resp, err := client.Get(addr + "/statsz")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var raw map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		return nil
+	}
+	out := make(map[string]float64, len(raw))
+	for k, v := range raw {
+		if f, ok := v.(float64); ok {
+			out[k] = f
+		}
+	}
+	return out
+}
+
+func percentile(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.999999) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8377", "gpad base URL")
+	rps := flag.Float64("rps", 20, "open-loop arrival rate (requests/second)")
+	duration := flag.Duration("duration", 10*time.Second, "how long to send load")
+	mixFlag := flag.String("mix", "advise=8,profile=1,sweep=1",
+		"endpoint mix as kind=weight pairs (kinds: advise, profile, sweep)")
+	distinct := flag.Int("distinct", 1,
+		"rotate request seeds through N variants: 1 = warm steady state, large = every request cold")
+	grid := flag.Int("grid", 160,
+		"launch grid size (blocks): bigger grids cost more simulation per cold request")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+	scenario := flag.String("scenario", "", "scenario name stamped on the summary record")
+	out := flag.String("out", "", "write the summary JSON array to this file (default stdout)")
+	appendOut := flag.Bool("append", false,
+		"append to -out's existing JSON array instead of overwriting")
+	flag.Parse()
+
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpa-loadgen:", err)
+		os.Exit(2)
+	}
+	if *rps <= 0 || *duration <= 0 || *distinct < 1 {
+		fmt.Fprintln(os.Stderr, "gpa-loadgen: -rps, -duration, and -distinct must be positive")
+		os.Exit(2)
+	}
+	kinds := schedule(mix)
+
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 256,
+		},
+	}
+
+	before := statszNumbers(client, *addr)
+
+	var (
+		mu      sync.Mutex
+		samples []sample
+		wg      sync.WaitGroup
+	)
+	interval := time.Duration(float64(time.Second) / *rps)
+	n := int(float64(*duration) / float64(interval))
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		// Open loop: sleep until this request's scheduled send time and
+		// measure latency from that schedule, not from the actual send.
+		sched := start.Add(time.Duration(i) * interval)
+		if d := time.Until(sched); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(i int, sched time.Time) {
+			defer wg.Done()
+			path, payload := body(kinds[i%len(kinds)], i, *distinct, *grid)
+			data, _ := json.Marshal(payload)
+			var s sample
+			resp, err := client.Post(*addr+path, "application/json", bytes.NewReader(data))
+			if err != nil {
+				s = sample{latency: time.Since(sched), status: 0, code: "transport_error"}
+			} else {
+				respBody, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				s = sample{latency: time.Since(sched), status: resp.StatusCode}
+				if resp.StatusCode >= 300 {
+					s.code = errorCode(respBody, resp.StatusCode)
+				}
+			}
+			mu.Lock()
+			samples = append(samples, s)
+			mu.Unlock()
+		}(i, sched)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	after := statszNumbers(client, *addr)
+
+	sum := summary{
+		SchemaVersion: summarySchemaVersion,
+		Scenario:      *scenario,
+		Addr:          *addr,
+		RPS:           *rps,
+		DurationSec:   elapsed.Seconds(),
+		Mix:           *mixFlag,
+		Distinct:      *distinct,
+		Grid:          *grid,
+		Sent:          n,
+		Completed:     len(samples),
+		Errors:        map[string]int{},
+	}
+	lats := make([]time.Duration, 0, len(samples))
+	var total time.Duration
+	for _, s := range samples {
+		lats = append(lats, s.latency)
+		total += s.latency
+		switch {
+		case s.code == "":
+			sum.OK++
+		default:
+			sum.Errors[s.code]++
+			if s.code == "queue_full" {
+				sum.Shed++
+			}
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	if len(lats) > 0 {
+		sum.Latency = latencySummary{
+			P50Ms:  percentile(lats, 0.50),
+			P90Ms:  percentile(lats, 0.90),
+			P99Ms:  percentile(lats, 0.99),
+			P999Ms: percentile(lats, 0.999),
+			MaxMs:  float64(lats[len(lats)-1]) / float64(time.Millisecond),
+			MeanMs: float64(total) / float64(len(lats)) / float64(time.Millisecond),
+		}
+	}
+	if before != nil && after != nil {
+		delta := make(map[string]float64)
+		for k, v := range after {
+			if d := v - before[k]; d != 0 {
+				delta[k] = d
+			}
+		}
+		sum.StatszDelta = delta
+	}
+
+	if err := emit(sum, *out, *appendOut); err != nil {
+		fmt.Fprintln(os.Stderr, "gpa-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// emit writes the summary as (or into) a JSON array at path, or to
+// stdout when path is empty.
+func emit(sum summary, path string, appendTo bool) error {
+	records := []summary{sum}
+	if appendTo && path != "" {
+		if raw, err := os.ReadFile(path); err == nil {
+			var prior []summary
+			if err := json.Unmarshal(raw, &prior); err != nil {
+				return fmt.Errorf("-append: %s is not a loadgen summary array: %w", path, err)
+			}
+			records = append(prior, sum)
+		}
+	}
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o666)
+}

@@ -39,7 +39,16 @@
 //	POST /v1/sweep    Advise one kernel on several architecture models
 //	                  ("archs": ["v100","t4"]; empty = all).
 //	GET  /v1/archs    List the registered GPU architecture models.
-//	GET  /healthz     Liveness probe.
+//	GET  /healthz     Liveness probe: always 200 while serving, with
+//	                  build info, uptime, and artifact-store health
+//	                  (status "degraded" when -store-dir stops
+//	                  accepting writes).
+//	GET  /metrics     Prometheus text exposition: every /statsz
+//	                  counter (gpa_engine_*), per-stage pipeline
+//	                  latency histograms (gpa_stage_duration_seconds),
+//	                  per-route request counters keyed by stable error
+//	                  code (gpa_http_requests_total), and Go runtime
+//	                  gauges.
 //	GET  /statsz      Engine counters: hits, misses, coalesced,
 //	                  canceled, shed, inflight, runs, evictions, plus
 //	                  the serving-efficiency gauges poolGets/poolHits
@@ -52,6 +61,14 @@
 //	                  Puts/Corrupt/Errors (the -store-dir disk store).
 //	                  Also served at /v1/statsz.
 //
+// Every request carries a trace ID: X-Request-Id is accepted (or a
+// random one minted), echoed in the response header and the result
+// body, and attached to the request's structured log line
+// (-log-format text|json). Trace IDs are transport-level only — never
+// part of the cache digest or any stage key — so traced requests
+// still coalesce and cache normally. -pprof-addr serves
+// net/http/pprof on a separate opt-in listener.
+//
 // The simulator is deterministic, so gpad's responses are a pure
 // function of the request: two deployments answering the same request
 // must return the same profileDigest, which makes the cache safe and
@@ -63,8 +80,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served only on -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -87,7 +105,31 @@ func main() {
 	storeDir := flag.String("store-dir", "",
 		"persistent per-stage artifact store directory: a restarted gpad starts warm "+
 			"from it, and corrupt blobs are recomputed, never served (empty = in-memory only)")
+	logFormat := flag.String("log-format", "text",
+		"request/lifecycle log encoding: text (key=value) or json (one object per line)")
+	logLevel := flag.String("log-level", "info",
+		"minimum log level: debug, info, warn, error (scrape endpoints log at debug)")
+	pprofAddr := flag.String("pprof-addr", "",
+		"serve net/http/pprof on this address (empty = disabled); keep it loopback-only")
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintln(os.Stderr, "gpad: bad -log-level:", err)
+		os.Exit(2)
+	}
+	hopts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, hopts)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, hopts)
+	default:
+		fmt.Fprintln(os.Stderr, "gpad: bad -log-format (want text or json):", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
 
 	var st *gpa.Store
 	if *storeDir != "" {
@@ -106,8 +148,19 @@ func main() {
 	})
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(eng),
+		Handler:           newServerCfg(serverConfig{engine: eng, store: st, logger: logger}),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			logger.Info("pprof serving", "addr", *pprofAddr)
+			// DefaultServeMux carries only the pprof handlers; the API mux
+			// above is separate, so profiling exposure is opt-in per address.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logger.Warn("pprof server exited", "err", err)
+			}
+		}()
 	}
 
 	cacheDesc := "disabled"
@@ -125,8 +178,8 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("gpad: serving on http://%s (workers=%d, cache %s, store %s)",
-		*addr, eng.Stats().Workers, cacheDesc, storeDesc)
+	logger.Info("gpad: serving", "addr", *addr, "workers", eng.Stats().Workers,
+		"cache", cacheDesc, "store", storeDesc)
 
 	select {
 	case err := <-errc:
@@ -141,17 +194,17 @@ func main() {
 		// land promptly). Engine and HTTP server drain concurrently —
 		// handlers blocked on queued jobs return as soon as the engine
 		// abandons those jobs.
-		log.Printf("gpad: draining (deadline %s)", *drainTimeout)
+		logger.Info("gpad: draining", "deadline", drainTimeout.String())
 		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		engErr := make(chan error, 1)
 		go func() { engErr <- eng.Shutdown(drainCtx) }()
 		if err := srv.Shutdown(drainCtx); err != nil {
-			log.Printf("gpad: http shutdown: %v", err)
+			logger.Warn("gpad: http shutdown", "err", err)
 		}
 		if err := <-engErr; err != nil {
-			log.Printf("gpad: engine shutdown: %v", err)
+			logger.Warn("gpad: engine shutdown", "err", err)
 		}
-		log.Printf("gpad: shutdown complete")
+		logger.Info("gpad: shutdown complete")
 	}
 }

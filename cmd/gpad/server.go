@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
@@ -12,6 +14,7 @@ import (
 	"gpa"
 	"gpa/internal/arch"
 	"gpa/internal/kernels"
+	"gpa/internal/obs"
 	"gpa/internal/service"
 )
 
@@ -27,14 +30,53 @@ const maxBodyBytes = 8 << 20
 type server struct {
 	eng     *gpa.Engine
 	started time.Time
+	// store is the persistent artifact store /healthz probes (nil =
+	// in-memory only).
+	store *gpa.Store
+	// log receives one structured line per request (see withObs).
+	log *slog.Logger
+	// metrics accumulates the per-route request counters and latency
+	// histograms /metrics renders.
+	metrics *obs.RequestMetrics
+	// version is the build version stamped on /healthz and
+	// gpa_build_info.
+	version string
 	// gpus caches resolved architecture models by request name (see
 	// lookupGPU).
 	gpus sync.Map // string -> *arch.GPU
 }
 
-// newServer builds the gpad handler around a shared engine.
+// serverConfig wires the server's collaborators; zero values get safe
+// defaults (discard logger, no store).
+type serverConfig struct {
+	engine *gpa.Engine
+	store  *gpa.Store
+	logger *slog.Logger
+}
+
+// newServer builds the gpad handler around a shared engine with
+// default observability wiring (tests use this; main wires a store and
+// a real logger through newServerCfg).
 func newServer(eng *gpa.Engine) http.Handler {
-	s := &server{eng: eng, started: time.Now()}
+	return newServerCfg(serverConfig{engine: eng})
+}
+
+// newServerCfg builds the fully wired gpad handler: the API mux inside
+// the observability middleware (trace IDs, request log, request
+// metrics).
+func newServerCfg(cfg serverConfig) http.Handler {
+	logger := cfg.logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s := &server{
+		eng:     cfg.engine,
+		started: time.Now(),
+		store:   cfg.store,
+		log:     logger,
+		metrics: obs.NewRequestMetrics(),
+		version: buildVersion(),
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/advise", s.post(s.handleAdvise))
 	mux.HandleFunc("/v1/profile", s.post(s.handleProfile))
@@ -44,7 +86,8 @@ func newServer(eng *gpa.Engine) http.Handler {
 	mux.HandleFunc("/healthz", s.get(s.handleHealthz))
 	mux.HandleFunc("/statsz", s.get(s.handleStatsz))
 	mux.HandleFunc("/v1/statsz", s.get(s.handleStatsz))
-	return mux
+	mux.HandleFunc("/metrics", s.get(s.handleMetrics))
+	return s.withObs(mux)
 }
 
 // lookupGPU resolves an architecture name through a per-server cache,
@@ -258,8 +301,12 @@ type errInfo struct {
 
 // errorBody is the JSON body of every error response.
 type errorBody struct {
-	SchemaVersion string  `json:"schemaVersion"`
-	Error         errInfo `json:"error"`
+	SchemaVersion string `json:"schemaVersion"`
+	// TraceID echoes the request's trace ID so a failed call is
+	// correlatable with its log line (stamped by writeJSON; empty for
+	// batch entries, whose envelope carries the ID once).
+	TraceID string  `json:"traceId,omitempty"`
+	Error   errInfo `json:"error"`
 }
 
 func errorBodyOf(err error) (int, *errorBody) {
@@ -297,6 +344,19 @@ func (s *server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	s.handleOne(w, r, gpa.JobProfile)
 }
 
+// buildJob converts a kernel request to a job, timing kernel
+// construction (parse/assemble/pack) into the engine's assemble-stage
+// histogram — gpad pre-builds programs before submission, so the
+// service-side assemble timer never sees HTTP traffic's real cost —
+// and stamping the request's trace ID onto the job.
+func (s *server) buildJob(w http.ResponseWriter, req *kernelRequest) (gpa.Job, error) {
+	start := time.Now()
+	job, err := req.job(s)
+	s.eng.StageLatency().Since(obs.StageAssemble, start)
+	job.TraceID = traceIDOf(w)
+	return job, err
+}
+
 // handleOne serves the fixed-kind single-kernel endpoints.
 func (s *server) handleOne(w http.ResponseWriter, r *http.Request, kind gpa.JobKind) {
 	var req kernelRequest
@@ -304,7 +364,7 @@ func (s *server) handleOne(w http.ResponseWriter, r *http.Request, kind gpa.JobK
 		return
 	}
 	req.Kind = kind.String()
-	job, err := req.job(s)
+	job, err := s.buildJob(w, &req)
 	if err != nil {
 		writeRequestError(w, err)
 		return
@@ -314,7 +374,9 @@ func (s *server) handleOne(w http.ResponseWriter, r *http.Request, kind gpa.JobK
 		writeTypedError(w, res.Err)
 		return
 	}
-	writeJSON(w, http.StatusOK, job.Result(res))
+	out := job.Result(res)
+	noteResult(w, out)
+	writeJSON(w, http.StatusOK, out)
 }
 
 // batchRequest fans several kernel requests (mixed kinds allowed)
@@ -328,7 +390,9 @@ type batchRequest struct {
 // always 200 for an admissible batch.
 type batchResponse struct {
 	SchemaVersion string `json:"schemaVersion"`
-	Results       []any  `json:"results"`
+	// TraceID is the request's trace ID; entries share the envelope's.
+	TraceID string `json:"traceId,omitempty"`
+	Results []any  `json:"results"`
 }
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -347,7 +411,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	live := make([]int, 0, len(req.Requests))
 	liveJobs := make([]gpa.Job, 0, len(req.Requests))
 	for i := range req.Requests {
-		job, err := req.Requests[i].job(s)
+		job, err := s.buildJob(w, &req.Requests[i])
 		if err != nil {
 			_, body := requestErrorBody(err)
 			out.Results[i] = body
@@ -377,7 +441,9 @@ type sweepRequest struct {
 
 type sweepResponse struct {
 	SchemaVersion string `json:"schemaVersion"`
-	Results       []any  `json:"results"`
+	// TraceID is the request's trace ID; entries share the envelope's.
+	TraceID string `json:"traceId,omitempty"`
+	Results []any  `json:"results"`
 }
 
 func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -403,7 +469,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		gpus = append(gpus, g)
 	}
 	req.Arch = "" // per-arch options are set by Sweep
-	job, err := req.job(s)
+	job, err := s.buildJob(w, &req.kernelRequest)
 	if err != nil {
 		writeRequestError(w, err)
 		return
@@ -446,19 +512,21 @@ func (s *server) handleArchs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-}
+// statszSchemaVersion versions the /statsz payload shape so machine
+// consumers (dashboards, the loadgen harness) can dispatch on it.
+const statszSchemaVersion = "gpa-statsz/1"
 
 // statszResponse is the /statsz payload: the engine's cache and
 // scheduling counters plus server uptime.
 type statszResponse struct {
+	SchemaVersion string `json:"schemaVersion"`
 	gpa.EngineStats
 	UptimeSeconds float64 `json:"uptimeSeconds"`
 }
 
 func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, statszResponse{
+		SchemaVersion: statszSchemaVersion,
 		EngineStats:   s.eng.Stats(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
 	})
@@ -498,6 +566,26 @@ func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	// One choke point stamps the trace ID onto every body shape and
+	// captures the stable error code for the request log and metrics.
+	// Result structs are freshly allocated per request (cache hits share
+	// advice/report pointers, not the Result), so stamping never leaks a
+	// trace ID across requests.
+	if ow, ok := w.(*obsWriter); ok {
+		switch b := v.(type) {
+		case *gpa.Result:
+			b.TraceID = ow.trace
+		case *errorBody:
+			b.TraceID = ow.trace
+			ow.code = b.Error.Code
+		case batchResponse:
+			b.TraceID = ow.trace
+			v = b
+		case sweepResponse:
+			b.TraceID = ow.trace
+			v = b
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)

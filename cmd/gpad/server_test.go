@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
@@ -116,14 +117,22 @@ func TestAdviseAsmAndCacheHit(t *testing.T) {
 	if !warm.Cached {
 		t.Fatal("second identical request must hit the cache")
 	}
-	// The determinism contract: everything but the Cached flag is
-	// byte-identical.
-	norm := func(b []byte) string {
-		return strings.Replace(string(b), `"cached": true`, `"cached": false`, 1)
-	}
-	if norm(body) != norm(body2) {
+	// The determinism contract: everything but the transport-level
+	// fields (Cached flag, trace ID) is byte-identical.
+	if normTransport(body) != normTransport(body2) {
 		t.Error("cached response body differs from cold run")
 	}
+}
+
+// traceIDLine matches the indented traceId field of an encoded result.
+var traceIDLine = regexp.MustCompile(`\s*"traceId": "[^"]*",`)
+
+// normTransport strips the per-request transport fields — the trace ID
+// (unique per request by design) and the cached flag — so response
+// bodies can be byte-compared under the determinism contract.
+func normTransport(b []byte) string {
+	s := traceIDLine.ReplaceAllString(string(b), "")
+	return strings.Replace(s, `"cached": true`, `"cached": false`, 1)
 }
 
 func TestAdviseBenchKernel(t *testing.T) {
@@ -393,15 +402,24 @@ func TestArchsHealthzStatsz(t *testing.T) {
 	if len(archs) != len(gpa.GPUs()) {
 		t.Errorf("archs = %d, want %d", len(archs), len(gpa.GPUs()))
 	}
-	var health map[string]string
+	var health healthzResponse
 	getJSON(t, ts.URL+"/healthz", &health)
-	if health["status"] != "ok" {
-		t.Errorf("healthz = %v", health)
+	if health.Status != "ok" {
+		t.Errorf("healthz = %+v", health)
+	}
+	if health.GoVersion == "" || health.Version == "" {
+		t.Errorf("healthz missing build info: %+v", health)
+	}
+	if health.Store != nil {
+		t.Errorf("healthz reports a store for a storeless server: %+v", health.Store)
 	}
 	var st statszResponse
 	getJSON(t, ts.URL+"/statsz", &st)
 	if st.Workers <= 0 {
 		t.Errorf("statsz workers = %d", st.Workers)
+	}
+	if st.SchemaVersion != statszSchemaVersion {
+		t.Errorf("statsz schemaVersion = %q, want %q", st.SchemaVersion, statszSchemaVersion)
 	}
 }
 

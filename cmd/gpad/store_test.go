@@ -4,7 +4,6 @@ import (
 	"context"
 	"encoding/json"
 	"net/http/httptest"
-	"strings"
 	"testing"
 	"time"
 
@@ -21,7 +20,7 @@ func newStoreServer(t *testing.T, dir string) (*gpa.Engine, *httptest.Server) {
 		t.Fatal(err)
 	}
 	eng := gpa.NewEngine(&gpa.EngineOptions{Store: st})
-	ts := httptest.NewServer(newServer(eng))
+	ts := httptest.NewServer(newServerCfg(serverConfig{engine: eng, store: st}))
 	t.Cleanup(ts.Close)
 	return eng, ts
 }
@@ -81,9 +80,7 @@ func TestRestartWarmFromStore(t *testing.T) {
 	// A brand-new engine over the same directory: every response must
 	// come from the store, byte-identical, with zero pipeline activity.
 	_, ts2 := newStoreServer(t, dir)
-	norm := func(b []byte) string {
-		return strings.Replace(string(b), `"cached": true`, `"cached": false`, 1)
-	}
+	norm := normTransport
 	for _, r := range requests {
 		resp, warm := postJSON(t, ts2.URL+r.path, r.body)
 		if resp.StatusCode != 200 {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gpa/internal/arch"
+	"gpa/internal/obs"
 	"gpa/internal/profiler"
 	"gpa/internal/service"
 )
@@ -120,6 +121,13 @@ type Job struct {
 	// the cache (it still runs, bounded by the worker pool). Reusing a
 	// key promises the workload behaves identically.
 	WorkloadKey string
+	// TraceID is the per-request trace identifier that request logs
+	// carry and the v2 result schema echoes (cmd/gpad accepts it via
+	// X-Request-Id or mints one). It never affects results: trace IDs
+	// are excluded from the cache digest and every stage key, so jobs
+	// differing only in TraceID share one simulation and byte-identical
+	// responses.
+	TraceID string
 }
 
 // JobResult is the outcome of one job. Exactly one of Err or the
@@ -183,6 +191,7 @@ func (j Job) request() (service.Request, error) {
 		Blamer:       o.Blamer,
 		Workload:     o.Workload,
 		WorkloadKey:  j.WorkloadKey,
+		TraceID:      j.TraceID,
 	}, nil
 }
 
@@ -282,3 +291,11 @@ func (e *Engine) Shutdown(ctx context.Context) error { return e.svc.Shutdown(ctx
 
 // Stats snapshots the engine's hit/miss/coalesce/run counters.
 func (e *Engine) Stats() EngineStats { return e.svc.Stats() }
+
+// StageLatency exposes the engine's per-stage pipeline latency
+// histograms (assemble, simulate, blame, advise). It is an
+// observability hook for the serving layer — cmd/gpad renders it at
+// /metrics and records kernel-construction time into the assemble
+// histogram — and returns an internal recorder type on purpose:
+// latency histograms are operational surface, not API contract.
+func (e *Engine) StageLatency() *obs.StageLatency { return e.svc.StageLatency() }

@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Label is one Prometheus label pair.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// PromWriter renders metrics in the Prometheus text exposition format
+// (version 0.0.4). Errors stick: the first write failure is kept and
+// all further output is dropped, so callers check Err once at the end.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// Header writes the # HELP and # TYPE lines for a metric family.
+func (p *PromWriter) Header(name, help, typ string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// Metric writes one sample line. An empty label list renders a bare
+// metric name.
+func (p *PromWriter) Metric(name string, labels []Label, v float64) {
+	p.printf("%s%s %s\n", name, renderLabels(labels), formatFloat(v))
+}
+
+// Counter writes a complete single-sample counter family.
+func (p *PromWriter) Counter(name, help string, labels []Label, v float64) {
+	p.Header(name, help, "counter")
+	p.Metric(name, labels, v)
+}
+
+// Gauge writes a complete single-sample gauge family.
+func (p *PromWriter) Gauge(name, help string, labels []Label, v float64) {
+	p.Header(name, help, "gauge")
+	p.Metric(name, labels, v)
+}
+
+// Histogram writes one histogram series (bucket lines with cumulative
+// counts, then _sum and _count) under an already-written Header. Use
+// HistogramFamily for the common one-series case.
+func (p *PromWriter) Histogram(name string, labels []Label, s HistogramSnapshot) {
+	cum := int64(0)
+	for i, c := range s.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(s.Bounds) {
+			le = formatFloat(s.Bounds[i])
+		}
+		bl := append(append(make([]Label, 0, len(labels)+1), labels...), Label{"le", le})
+		p.printf("%s_bucket%s %d\n", name, renderLabels(bl), cum)
+	}
+	p.printf("%s_sum%s %s\n", name, renderLabels(labels), formatFloat(s.SumSeconds))
+	p.printf("%s_count%s %d\n", name, renderLabels(labels), s.Count)
+}
+
+// HistogramFamily writes header plus one histogram series.
+func (p *PromWriter) HistogramFamily(name, help string, labels []Label, s HistogramSnapshot) {
+	p.Header(name, help, "histogram")
+	p.Histogram(name, labels, s)
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(v)
+}
+
+func escapeHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// formatFloat renders a sample value the way Prometheus parsers expect
+// (shortest round-trip representation; integers stay integral).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// MetricName converts a camelCase counter name (the /statsz JSON field
+// names) to a Prometheus snake_case name component: "storeCorrupt" →
+// "store_corrupt", "ffCyclesSkipped" → "ff_cycles_skipped". Runs of
+// capitals collapse into one word ("allocsPerJobMS" would become
+// "allocs_per_job_ms"), which keeps acronyms readable.
+func MetricName(camel string) string {
+	var b strings.Builder
+	for i, r := range camel {
+		if r >= 'A' && r <= 'Z' {
+			if i > 0 && (camel[i-1] < 'A' || camel[i-1] > 'Z') {
+				b.WriteByte('_')
+			}
+			b.WriteByte(byte(r) + ('a' - 'A'))
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// RequestMetrics aggregates HTTP serving metrics: a request counter
+// labeled by route, status, and stable error code, and a per-route
+// latency histogram. Routes come from the fixed mux table (never raw
+// URLs), so cardinality is bounded by construction; maxSeries is a
+// backstop against a bug violating that.
+type RequestMetrics struct {
+	mu     sync.Mutex
+	counts map[requestKey]int64
+	dur    map[string]*Histogram
+}
+
+const maxSeries = 4096
+
+type requestKey struct {
+	Route  string
+	Status int
+	Code   string
+}
+
+// NewRequestMetrics builds an empty recorder.
+func NewRequestMetrics() *RequestMetrics {
+	return &RequestMetrics{
+		counts: make(map[requestKey]int64),
+		dur:    make(map[string]*Histogram),
+	}
+}
+
+// Record accounts one served request. code is the stable error code
+// ("" for success, "queue_full", "deadline_exceeded", ...); failures
+// are counted with the same taxonomy the response body carries, so
+// metrics, logs, and /statsz aggregates can never disagree about what
+// an error was.
+func (m *RequestMetrics) Record(route string, status int, code string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if len(m.counts) < maxSeries {
+		m.counts[requestKey{route, status, code}]++
+	}
+	h := m.dur[route]
+	if h == nil && len(m.dur) < maxSeries {
+		h = NewHistogram(nil)
+		m.dur[route] = h
+	}
+	m.mu.Unlock()
+	h.Observe(d)
+}
+
+// Counts snapshots the request counter (for tests and debugging).
+func (m *RequestMetrics) Counts() map[requestKey]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[requestKey]int64, len(m.counts))
+	for k, v := range m.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// CountFor returns the accumulated count for one (route, status, code)
+// series.
+func (m *RequestMetrics) CountFor(route string, status int, code string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counts[requestKey{route, status, code}]
+}
+
+// Write renders the request counter and per-route latency histograms.
+// Series are sorted so scrapes are stable and diffable.
+func (m *RequestMetrics) Write(p *PromWriter) {
+	m.mu.Lock()
+	keys := make([]requestKey, 0, len(m.counts))
+	for k := range m.counts {
+		keys = append(keys, k)
+	}
+	routes := make([]string, 0, len(m.dur))
+	snaps := make(map[string]HistogramSnapshot, len(m.dur))
+	for r, h := range m.dur {
+		routes = append(routes, r)
+		snaps[r] = h.Snapshot()
+	}
+	counts := make(map[requestKey]int64, len(m.counts))
+	for k, v := range m.counts {
+		counts[k] = v
+	}
+	m.mu.Unlock()
+
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Route != b.Route {
+			return a.Route < b.Route
+		}
+		if a.Status != b.Status {
+			return a.Status < b.Status
+		}
+		return a.Code < b.Code
+	})
+	sort.Strings(routes)
+
+	p.Header("gpa_http_requests_total",
+		"Requests served, by route, HTTP status, and stable error code (empty code = success).",
+		"counter")
+	for _, k := range keys {
+		p.Metric("gpa_http_requests_total", []Label{
+			{"route", k.Route},
+			{"status", strconv.Itoa(k.Status)},
+			{"code", k.Code},
+		}, float64(counts[k]))
+	}
+	p.Header("gpa_http_request_duration_seconds",
+		"End-to-end request latency by route, cache hits and errors included.",
+		"histogram")
+	for _, r := range routes {
+		p.Histogram("gpa_http_request_duration_seconds", []Label{{"route", r}}, snaps[r])
+	}
+}
+
+// WriteStageLatency renders the per-stage pipeline histograms as one
+// gpa_stage_duration_seconds family labeled by stage.
+func WriteStageLatency(p *PromWriter, l *StageLatency) {
+	p.Header("gpa_stage_duration_seconds",
+		"Pipeline stage execution latency (assemble, simulate, blame, advise); recorded only when the stage actually runs.",
+		"histogram")
+	if l == nil {
+		return
+	}
+	for s := Stage(0); s < NumStages; s++ {
+		p.Histogram("gpa_stage_duration_seconds",
+			[]Label{{"stage", s.String()}}, l.h[s].Snapshot())
+	}
+}

@@ -48,6 +48,7 @@ import (
 	"gpa/internal/arch"
 	"gpa/internal/blamer"
 	"gpa/internal/gpusim"
+	"gpa/internal/obs"
 	"gpa/internal/profiler"
 	"gpa/internal/sass"
 	"gpa/internal/store"
@@ -135,6 +136,15 @@ type Request struct {
 	// unless WorkloadKey names it stably (same key ⇒ same behaviour).
 	Workload    gpusim.Workload
 	WorkloadKey string
+	// TraceID is the per-request trace identifier (accepted from the
+	// client or minted by the server) that request logs and the v2
+	// result schema echo. It is transport-level observability and is
+	// deliberately excluded from the result digest and every stage key
+	// — two requests differing only in TraceID share one cache entry,
+	// one flight, and byte-identical responses, and drift-check output
+	// can never depend on who asked. Pinned by
+	// TestTraceIDExcludedFromDigest.
+	TraceID string
 }
 
 // defaultGPU is the shared default architecture model (the paper's
@@ -266,6 +276,12 @@ type Stats struct {
 	// Inflight is the number of requests currently executing or queued
 	// for a worker slot.
 	Inflight int64 `json:"inflight"`
+	// Queued is the number of admitted requests currently waiting for a
+	// worker slot (Inflight minus the ones actually running).
+	Queued int64 `json:"queued"`
+	// QueueCapacity is the admission bound beyond the worker pool
+	// (Options.MaxQueue; 0 = unbounded admission).
+	QueueCapacity int64 `json:"queueCapacity"`
 	// CacheEntries is the current number of cached responses.
 	CacheEntries int `json:"cacheEntries"`
 	// Workers is the engine's worker-pool bound.
@@ -371,6 +387,12 @@ type Engine struct {
 	// process-wide allocation delta per served job against it.
 	baseMallocs uint64
 
+	// lat records per-stage pipeline latencies (assemble, simulate,
+	// blame, advise) for the /metrics histograms. Stages record only
+	// when they actually execute, so the counts correlate with
+	// runs/sims, not request volume.
+	lat *obs.StageLatency
+
 	stats struct {
 		hits, misses, coalesced, bypass, runs, errors, canceled, shed, evictions, inflight int64
 		sims, stageServed, structureBuilds                                                 int64
@@ -413,6 +435,7 @@ func New(opts Options) *Engine {
 		stages:         store.NewMemory(opts.StageEntries), // nil for StageEntries < 0
 		disk:           opts.Disk,
 		baseMallocs:    heapAllocObjects(),
+		lat:            obs.NewStageLatency(),
 	}
 	if opts.MaxQueue != 0 {
 		queue := opts.MaxQueue
@@ -641,6 +664,12 @@ func heapAllocObjects() uint64 {
 	return 0
 }
 
+// StageLatency exposes the engine's per-stage latency recorder so the
+// serving layer (cmd/gpad) can render it at /metrics and fold its own
+// assemble-time observations (kernel construction happens above the
+// engine) into the same histograms.
+func (e *Engine) StageLatency() *obs.StageLatency { return e.lat }
+
 // Stats snapshots the engine counters.
 func (e *Engine) Stats() Stats {
 	allocs := heapAllocObjects()
@@ -651,25 +680,39 @@ func (e *Engine) Stats() Stats {
 	if e.disk != nil {
 		diskStats = e.disk.Stats()
 	}
+	// Queued is derived, not counted: admitted requests minus the ones
+	// holding a worker slot right now (sem length is a consistent-enough
+	// read for a gauge).
+	running := int64(len(e.sem))
+	var queueCap int64
+	if e.slots != nil {
+		queueCap = int64(cap(e.slots) - cap(e.sem))
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	queued := e.stats.inflight - running
+	if queued < 0 {
+		queued = 0
+	}
 	st := Stats{
-		Hits:         e.stats.hits,
-		Misses:       e.stats.misses,
-		Coalesced:    e.stats.coalesced,
-		Bypass:       e.stats.bypass,
-		Runs:         e.stats.runs,
-		Sims:         e.stats.sims,
-		StageServed:  e.stats.stageServed,
-		Errors:       e.stats.errors,
-		Canceled:     e.stats.canceled,
-		Shed:         e.stats.shed,
-		Evictions:    e.stats.evictions,
-		Inflight:     e.stats.inflight,
-		CacheEntries: e.cache.len(),
-		Workers:      cap(e.sem),
-		PoolGets:     poolGets,
-		PoolHits:     poolHits,
+		Hits:          e.stats.hits,
+		Misses:        e.stats.misses,
+		Coalesced:     e.stats.coalesced,
+		Bypass:        e.stats.bypass,
+		Runs:          e.stats.runs,
+		Sims:          e.stats.sims,
+		StageServed:   e.stats.stageServed,
+		Errors:        e.stats.errors,
+		Canceled:      e.stats.canceled,
+		Shed:          e.stats.shed,
+		Evictions:     e.stats.evictions,
+		Inflight:      e.stats.inflight,
+		Queued:        queued,
+		QueueCapacity: queueCap,
+		CacheEntries:  e.cache.len(),
+		Workers:       cap(e.sem),
+		PoolGets:      poolGets,
+		PoolHits:      poolHits,
 
 		FFPeriodsDetected: ffPeriods,
 		FFCyclesSkipped:   ffCycles,
@@ -776,11 +819,13 @@ func (e *Engine) execute(ctx context.Context, req *Request, key string) (resp *R
 	}
 	prog := n.Prog
 	if prog == nil {
+		assembleStart := time.Now()
 		if fa != nil {
 			prog, err = fa.programOf(nil)
 		} else {
 			prog, err = gpusim.Load(n.Module)
 		}
+		e.lat.Since(obs.StageAssemble, assembleStart)
 		if err != nil {
 			return nil, fmt.Errorf("service: %w", err)
 		}
@@ -788,12 +833,14 @@ func (e *Engine) execute(ctx context.Context, req *Request, key string) (resp *R
 	resp = &Response{Key: key, Kind: n.Kind, memo: &respMemo{}}
 
 	if n.Kind == KindMeasure {
+		simStart := time.Now()
 		res, err := gpusim.Run(ctx, prog, n.Launch, n.Workload, gpusim.Config{
 			GPU:         n.GPU,
 			SimSMs:      n.SimSMs,
 			Seed:        n.Seed,
 			Parallelism: n.Parallelism,
 		})
+		e.lat.Since(obs.StageSimulate, simStart)
 		if err != nil {
 			return nil, fmt.Errorf("service: %w", err)
 		}
@@ -820,6 +867,7 @@ func (e *Engine) execute(ctx context.Context, req *Request, key string) (resp *R
 		}
 	}
 	if prof == nil {
+		simStart := time.Now()
 		prof, err = profiler.CollectProgram(ctx, prog, n.Launch, n.Workload, profiler.Options{
 			GPU:          n.GPU,
 			SamplePeriod: n.SamplePeriod,
@@ -827,6 +875,7 @@ func (e *Engine) execute(ctx context.Context, req *Request, key string) (resp *R
 			Seed:         n.Seed,
 			Parallelism:  n.Parallelism,
 		})
+		e.lat.Since(obs.StageSimulate, simStart)
 		if err != nil {
 			return nil, fmt.Errorf("service: %w", err)
 		}
@@ -878,6 +927,7 @@ func (e *Engine) execute(ctx context.Context, req *Request, key string) (resp *R
 			return resp, nil
 		}
 	}
+	blameStart := time.Now()
 	var st *structure.Structure
 	mod := n.Module
 	if fa != nil {
@@ -888,16 +938,20 @@ func (e *Engine) execute(ctx context.Context, req *Request, key string) (resp *R
 		st, err = structure.Analyze(n.Module)
 	}
 	if err != nil {
+		e.lat.Since(obs.StageBlame, blameStart)
 		return nil, fmt.Errorf("service: %w", err)
 	}
 	actx, err := adv.BuildContextWithStructure(mod, st, prof, n.GPU, n.Blamer)
+	e.lat.Since(obs.StageBlame, blameStart)
 	if err != nil {
 		return nil, fmt.Errorf("service: %w", err)
 	}
+	adviseStart := time.Now()
 	advice := adv.Advise(actx, adv.DefaultOptimizers()...)
 	resp.Advice = advice
 	resp.Context = actx
 	resp.Report = advice.String()
+	e.lat.Since(obs.StageAdvise, adviseStart)
 	resp.ElapsedMS = elapsedMS(start)
 	if stageOK {
 		aa := &adviceArtifact{advice: advice, report: resp.Report, elapsedMS: resp.ElapsedMS}

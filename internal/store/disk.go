@@ -159,3 +159,22 @@ func (d *Disk) Stats() Stats {
 		Errors:  d.errors.Load(),
 	}
 }
+
+// Dir reports the store's root directory (the versioned, schema-keyed
+// blob root, not the directory the store was opened with).
+func (d *Disk) Dir() string { return d.root }
+
+// CheckWritable probes whether the store can still accept blobs by
+// creating and removing a uniquely named file under the root. It is a
+// health-endpoint hook: a full disk or revoked permissions turn the
+// store into a silent pass-through (Put failures only bump Errors), so
+// liveness probes need an explicit signal.
+func (d *Disk) CheckWritable() error {
+	f, err := os.CreateTemp(d.root, ".healthz-*")
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	f.Close()
+	return os.Remove(name)
+}

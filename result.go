@@ -31,6 +31,13 @@ type Result struct {
 	Arch string `json:"arch"`
 	// Kind is the pipeline stage ("measure", "profile", "advise").
 	Kind string `json:"kind"`
+	// TraceID is the per-request trace identifier echoed back to the
+	// client (cmd/gpad stamps it from X-Request-Id or mints one).
+	// Transport-level observability only: it is excluded from the cache
+	// digest, every stage key, and the determinism contract — two
+	// requests with different trace IDs return otherwise byte-identical
+	// results. Empty for library-direct results.
+	TraceID string `json:"traceId,omitempty"`
 	// Key is the content-addressed cache key ("" when uncacheable).
 	Key string `json:"key,omitempty"`
 	// Cached is true when the result was served without a new

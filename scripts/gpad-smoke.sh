@@ -9,10 +9,12 @@ set -eu
 ADDR=${GPAD_ADDR:-127.0.0.1:8377}
 TMP=$(mktemp -d)
 BIN=$TMP/gpad
+LOADGEN=$TMP/gpa-loadgen
 LOG=$TMP/gpad.log
 go build -o "$BIN" ./cmd/gpad
+go build -o "$LOADGEN" ./cmd/gpa-loadgen
 
-"$BIN" -addr "$ADDR" >"$LOG" 2>&1 &
+"$BIN" -addr "$ADDR" -log-format json >"$LOG" 2>&1 &
 PID=$!
 trap 'kill $PID 2>/dev/null || true' EXIT INT TERM
 
@@ -57,11 +59,12 @@ echo "$R2" | grep -q '"cached": true' || {
     exit 1
 }
 
-# The determinism contract: modulo the cached flag, the cold and cached
-# response bodies are byte-identical (a cache hit reports the original
-# run's elapsedMs, so even the timing field matches).
-N1=$(echo "$R1" | sed 's/"cached": false/"cached": X/')
-N2=$(echo "$R2" | sed 's/"cached": true/"cached": X/')
+# The determinism contract: modulo the transport-level fields (cached
+# flag, per-request trace ID), the cold and cached response bodies are
+# byte-identical (a cache hit reports the original run's elapsedMs, so
+# even the timing field matches).
+N1=$(echo "$R1" | sed -e 's/"cached": false/"cached": X/' -e '/"traceId":/d')
+N2=$(echo "$R2" | sed -e 's/"cached": true/"cached": X/' -e '/"traceId":/d')
 if [ "$N1" != "$N2" ]; then
     echo "gpad-smoke: cached response differs from cold response" >&2
     exit 1
@@ -93,6 +96,60 @@ echo "$STATS" | grep -q '"hits": 1' || {
     exit 1
 }
 
+# Trace IDs: a client-supplied X-Request-Id is echoed in the response
+# header and the result body.
+TRACE=$(curl -sf -X POST -H 'Content-Type: application/json' -H 'X-Request-Id: smoke-trace-1' \
+    -d "$REQ" -D - "http://$ADDR/v1/advise")
+echo "$TRACE" | grep -qi '^X-Request-Id: smoke-trace-1' || {
+    echo "gpad-smoke: trace ID not echoed in response header" >&2
+    exit 1
+}
+echo "$TRACE" | grep -q '"traceId": "smoke-trace-1"' || {
+    echo "gpad-smoke: trace ID not echoed in result body" >&2
+    exit 1
+}
+
+# /metrics: a well-formed Prometheus scrape whose engine counters agree
+# with /statsz, including the per-stage latency histograms and the
+# per-route request counters (the unknown-arch 400 above must be
+# counted under its stable code).
+METRICS=$(curl -sf "http://$ADDR/metrics")
+for SERIES in \
+    'gpa_engine_runs_total 1' \
+    'gpa_stage_duration_seconds_count{stage="simulate"} 1' \
+    'gpa_stage_duration_seconds_count{stage="advise"} 1' \
+    'gpa_http_requests_total{route="/v1/advise",status="400",code="unknown_arch"}' \
+    'gpa_build_info' \
+    'go_goroutines'; do
+    echo "$METRICS" | grep -qF "$SERIES" || {
+        echo "gpad-smoke: /metrics missing series: $SERIES" >&2
+        echo "$METRICS" | head -50 >&2
+        exit 1
+    }
+done
+
+# Request logs are structured JSON with the trace ID attached.
+grep -q '"trace":"smoke-trace-1"' "$LOG" || {
+    echo "gpad-smoke: no structured log line for the traced request" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+
+# Load harness: a short warm open-loop run must complete with zero
+# errors and report sane percentiles.
+LOADOUT=$TMP/loadgen.json
+"$LOADGEN" -addr "http://$ADDR" -rps 20 -duration 2s -mix advise=1 -distinct 1 -out "$LOADOUT"
+grep -q '"schemaVersion": "gpa-loadgen/1"' "$LOADOUT" || {
+    echo "gpad-smoke: loadgen summary missing schema version" >&2
+    cat "$LOADOUT" >&2
+    exit 1
+}
+grep -q '"ok": 40' "$LOADOUT" || {
+    echo "gpad-smoke: loadgen run did not complete 40/40 requests" >&2
+    cat "$LOADOUT" >&2
+    exit 1
+}
+
 # Graceful shutdown: SIGTERM drains and exits 0 within the drain
 # deadline, logging the completed drain.
 kill -TERM $PID
@@ -110,4 +167,4 @@ grep -q 'shutdown complete' "$LOG" || {
     exit 1
 }
 
-echo "gpad-smoke: OK (one simulation, byte-identical cache hit, typed errors, clean shutdown)"
+echo "gpad-smoke: OK (one simulation, byte-identical cache hit, typed errors, metrics, traced logs, loadgen, clean shutdown)"

@@ -41,3 +41,12 @@ func OpenStore(dir string) (*Store, error) {
 
 // Stats snapshots the store's hit/miss/put/corrupt counters.
 func (s *Store) Stats() store.Stats { return s.disk.Stats() }
+
+// Dir reports the store's resolved blob root directory.
+func (s *Store) Dir() string { return s.disk.Dir() }
+
+// Check probes whether the store directory is still writable (the
+// signal gpad's /healthz surfaces: Put failures are deliberately
+// silent, so an unwritable store otherwise just degrades to
+// pass-through).
+func (s *Store) Check() error { return s.disk.CheckWritable() }
