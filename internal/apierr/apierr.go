@@ -6,7 +6,10 @@
 // arch, sass, gpusim, service, and the root gpa package alike) so the
 // internal pipeline can tag errors at the point of failure without
 // importing the public API; the root package re-exports them as
-// gpa.ErrUnknownArch and friends.
+// gpa.ErrUnknownArch and friends. Relative to Figure 2 it is the
+// failure-reporting spine running alongside every stage from
+// measurement through advising: whichever stage fails, the caller sees
+// the same small vocabulary.
 package apierr
 
 import (

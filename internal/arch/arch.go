@@ -23,6 +23,7 @@ package arch
 import (
 	"fmt"
 
+	"gpa/internal/apierr"
 	"gpa/internal/sass"
 )
 
@@ -234,8 +235,8 @@ type Occupancy struct {
 // and sharedPerBlock bytes of shared memory.
 func (g *GPU) ComputeOccupancy(blockThreads, regsPerThread, sharedPerBlock int) (Occupancy, error) {
 	if blockThreads <= 0 || blockThreads > g.MaxThreadsPerBlock {
-		return Occupancy{}, fmt.Errorf("arch: block size %d out of range (1-%d)",
-			blockThreads, g.MaxThreadsPerBlock)
+		return Occupancy{}, fmt.Errorf("arch: %w: block size %d out of range (1-%d)",
+			apierr.ErrBadKernel, blockThreads, g.MaxThreadsPerBlock)
 	}
 	warpsPerBlock := (blockThreads + g.WarpSize - 1) / g.WarpSize
 	limit := g.MaxBlocksPerSM
@@ -255,7 +256,7 @@ func (g *GPU) ComputeOccupancy(blockThreads, regsPerThread, sharedPerBlock int) 
 		}
 	}
 	if limit == 0 {
-		return Occupancy{}, fmt.Errorf("arch: kernel cannot fit a single block per SM")
+		return Occupancy{}, fmt.Errorf("arch: %w: kernel cannot fit a single block per SM", apierr.ErrBadKernel)
 	}
 	warps := limit * warpsPerBlock
 	return Occupancy{

@@ -62,6 +62,7 @@ func normalize(name string) string {
 // entry is incomplete.
 func Register(m Model) error {
 	if m.Key == "" || m.Build == nil {
+		//gpa:lint-allow apierrlint Register is a build-time configuration API; its errors reach developers, never the serving boundary
 		return fmt.Errorf("arch: Register needs a key and a Build function")
 	}
 	regMu.Lock()
@@ -81,11 +82,13 @@ func Register(m Model) error {
 	newKeys := append([]string{m.Key, m.Build().Name}, m.Aliases...)
 	for _, k := range newKeys {
 		if keys[normalize(k)] {
+			//gpa:lint-allow apierrlint Register is a build-time configuration API; its errors reach developers, never the serving boundary
 			return fmt.Errorf("arch: model key %q already registered", k)
 		}
 	}
 	for _, sm := range m.SMFlags {
 		if flags[sm] {
+			//gpa:lint-allow apierrlint Register is a build-time configuration API; its errors reach developers, never the serving boundary
 			return fmt.Errorf("arch: architecture flag sm_%d already registered", sm)
 		}
 	}

@@ -10,7 +10,9 @@
 // Ampere models are registered alongside it).
 //
 // This package substitutes for the GPU hardware in the GPA paper
-// (Section 2): it executes the same fixed-length ISA and exposes the
+// (Section 2) — the measurement half of Figure 2, feeding the PC
+// sampler everything downstream consumes: it executes the same
+// fixed-length ISA and exposes the
 // same PC-sampling surface (periodic per-scheduler samples carrying a
 // PC, an active/latency flag, and a CUPTI-style stall reason), so
 // everything downstream — profiler, instruction blamer, optimizers,
@@ -26,6 +28,7 @@ package gpusim
 import (
 	"fmt"
 
+	"gpa/internal/apierr"
 	"gpa/internal/sass"
 )
 
@@ -144,7 +147,7 @@ func Load(m *sass.Module) (*Program, error) {
 				}
 			}
 			if !found {
-				return nil, fmt.Errorf("gpusim: CAL to unknown function %q", tgt.Sym)
+				return nil, fmt.Errorf("gpusim: %w: CAL to unknown function %q", apierr.ErrBadKernel, tgt.Sym)
 			}
 			continue
 		}
@@ -152,7 +155,7 @@ func Load(m *sass.Module) (*Program, error) {
 		local := int(tgt.PC) / sass.InstrBytes
 		f := m.Functions[fi]
 		if local < 0 || local >= len(f.Instrs) {
-			return nil, fmt.Errorf("gpusim: %s: branch target out of function", f.Name)
+			return nil, fmt.Errorf("gpusim: %w: %s: branch target out of function", apierr.ErrBadKernel, f.Name)
 		}
 		p.target[i] = p.Base[fi] + local
 	}
@@ -171,7 +174,7 @@ func (p *Program) EntryOf(name string) (int, error) {
 			return p.Base[fi], nil
 		}
 	}
-	return 0, fmt.Errorf("gpusim: no function %q", name)
+	return 0, fmt.Errorf("gpusim: %w: no function %q", apierr.ErrBadKernel, name)
 }
 
 // Target returns the flat target index of the control transfer at flat
@@ -202,11 +205,11 @@ func (p *Program) FlatIndex(fn, label string) (int, error) {
 		}
 		idx, ok := f.Labels[label]
 		if !ok {
-			return 0, fmt.Errorf("gpusim: function %q has no label %q", fn, label)
+			return 0, fmt.Errorf("gpusim: %w: function %q has no label %q", apierr.ErrBadKernel, fn, label)
 		}
 		return p.Base[fi] + idx, nil
 	}
-	return 0, fmt.Errorf("gpusim: no function %q", fn)
+	return 0, fmt.Errorf("gpusim: %w: no function %q", apierr.ErrBadKernel, fn)
 }
 
 // LineAt returns the source mapping of flat index i.

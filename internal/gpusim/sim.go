@@ -129,14 +129,14 @@ func Run(ctx context.Context, p *Program, launch LaunchConfig, wl Workload, cfg 
 		ctx = context.Background()
 	}
 	if cfg.GPU == nil {
-		return nil, fmt.Errorf("gpusim: nil GPU config")
+		return nil, fmt.Errorf("gpusim: %w: nil GPU config", apierr.ErrBadKernel)
 	}
 	if wl == nil {
 		wl = NopWorkload{}
 	}
 	entry, err := p.EntryOf(launch.Entry)
 	if err != nil {
-		return nil, fmt.Errorf("gpusim: %w: %w", apierr.ErrBadKernel, err)
+		return nil, err // tagged ErrBadKernel at origin
 	}
 	if !launch.Grid.valid() || !launch.Block.valid() {
 		return nil, fmt.Errorf("gpusim: %w: negative launch dimension (grid %+v, block %+v)",

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// APIErrConfig scopes the apierrlint analyzer.
+type APIErrConfig struct {
+	// Packages lists the taxonomy-origin packages: the places the error
+	// taxonomy says failures are tagged at the point of origin, so
+	// everything they return is classifiable with errors.Is at the
+	// service/HTTP boundary.
+	Packages []string
+}
+
+// APIErrLint builds the apierrlint analyzer: inside taxonomy-origin
+// packages, no bare errors.New and no fmt.Errorf without a %w verb may
+// escape through a return statement. A bare constructor there mints an
+// unclassifiable error — the HTTP layer would fall through to its
+// generic 500 mapping — while a %w wrap keeps whatever taxonomy tag
+// the chain already carries.
+func APIErrLint(cfg APIErrConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "apierrlint",
+		Doc:  "taxonomy-origin packages return only apierr-classifiable errors",
+	}
+	a.Run = func(pass *Pass) {
+		if !hasPath(cfg.Packages, pass.Pkg.Path) {
+			return
+		}
+		info := pass.Pkg.Info
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok {
+					return true
+				}
+				for _, res := range ret.Results {
+					call, ok := ast.Unparen(res).(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					path, name, ok := pkgFunc(info, call)
+					if !ok {
+						continue
+					}
+					switch {
+					case path == "errors" && name == "New":
+						pass.Reportf(call.Pos(), "bare errors.New escapes a taxonomy-origin package; wrap an apierr sentinel with fmt.Errorf(\"...: %%w\", ...) instead")
+					case path == "fmt" && name == "Errorf" && len(call.Args) > 0:
+						if lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit); ok && !strings.Contains(lit.Value, "%w") {
+							pass.Reportf(call.Pos(), "fmt.Errorf without %%w escapes a taxonomy-origin package; wrap an apierr sentinel so the boundary can classify it")
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}

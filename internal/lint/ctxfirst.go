@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// CtxConfig scopes the ctxfirst analyzer.
+type CtxConfig struct {
+	// NoSyntheticCtx lists the packages whose exported API simulates or
+	// blocks: an exported function there that takes no context but
+	// synthesizes one (context.Background/TODO) inside is hiding a
+	// cancellation boundary from its caller and must take ctx as its
+	// first parameter instead.
+	NoSyntheticCtx []string
+}
+
+// CtxFirst builds the ctxfirst analyzer, the static form of the v2
+// cancellation contract: a context parameter is always first (so every
+// call site reads uniformly and no API grows a trailing, optional-
+// looking context), and exported simulating/blocking API does not mint
+// its own background context.
+func CtxFirst(cfg CtxConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "ctxfirst",
+		Doc:  "context.Context is the first parameter; exported blocking API never synthesizes its own context",
+	}
+	a.Run = func(pass *Pass) {
+		info := pass.Pkg.Info
+		noSynth := hasPath(cfg.NoSyntheticCtx, pass.Pkg.Path)
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var params *ast.FieldList
+				var body *ast.BlockStmt
+				exported := false
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					params, body = n.Type.Params, n.Body
+					exported = n.Name.IsExported()
+				case *ast.FuncLit:
+					params, body = n.Type.Params, n.Body
+				default:
+					return true
+				}
+				pos := 0
+				hasCtx := false
+				for _, field := range params.List {
+					width := len(field.Names)
+					if width == 0 {
+						width = 1
+					}
+					tv, ok := info.Types[field.Type]
+					if ok && isContext(tv.Type) {
+						hasCtx = true
+						if pos != 0 {
+							pass.Reportf(field.Pos(), "context.Context must be the first parameter")
+						}
+					}
+					pos += width
+				}
+				if noSynth && exported && !hasCtx && body != nil {
+					reportSyntheticCtx(pass, body)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// reportSyntheticCtx flags context.Background/TODO calls inside an
+// exported context-less function of a blocking package.
+func reportSyntheticCtx(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if path, name, ok := pkgFunc(info, call); ok && path == "context" && (name == "Background" || name == "TODO") {
+			pass.Reportf(call.Pos(), "exported blocking API synthesizes context.%s; take ctx as the first parameter instead", name)
+		}
+		return true
+	})
+}

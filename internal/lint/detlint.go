@@ -1,0 +1,248 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strconv"
+)
+
+// DetConfig scopes the determinism analyzer.
+type DetConfig struct {
+	// Critical maps determinism-critical import paths to the file base
+	// names in scope; a nil or empty slice puts the whole package in
+	// scope. Everything the simulator's bit-identical-output oracle and
+	// the digest goldens depend on belongs here.
+	Critical map[string][]string
+}
+
+// forbidden sources of nondeterminism inside critical code. Imports
+// are banned wholesale (any use of a process-random or entropy source
+// poisons reproducibility); time and environment reads are banned per
+// call so unrelated uses of those packages (durations, file modes)
+// stay legal.
+var (
+	detBannedImports = map[string]string{
+		"math/rand":    "process-seeded randomness",
+		"math/rand/v2": "process-seeded randomness",
+		"crypto/rand":  "entropy source",
+	}
+	detBannedCalls = map[string]map[string]string{
+		"time": {"Now": "wall clock", "Since": "wall clock", "Until": "wall clock"},
+		"os":   {"Getenv": "environment read", "LookupEnv": "environment read", "Environ": "environment read"},
+	}
+)
+
+// DetLint builds the detlint analyzer: determinism-critical packages
+// must not read the clock, randomness, or the environment, and must
+// not let map iteration order reach ordered output (appends that
+// escape the loop, Write-style sinks, printed output). This is the
+// static form of the runtime determinism oracle: simulator results and
+// digests must be bit-identical across runs, parallelism levels, and
+// machines.
+func DetLint(cfg DetConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "detlint",
+		Doc:  "no clock, randomness, environment, or map-order leaks in determinism-critical packages",
+	}
+	a.Run = func(pass *Pass) {
+		files, ok := cfg.Critical[pass.Pkg.Path]
+		if !ok {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			if len(files) > 0 && !hasPath(files, filepath.Base(pass.Pkg.Fset.Position(f.Pos()).Filename)) {
+				continue
+			}
+			detFile(pass, f)
+		}
+	}
+	return a
+}
+
+func detFile(pass *Pass, f *ast.File) {
+	info := pass.Pkg.Info
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		if why, banned := detBannedImports[path]; banned {
+			pass.Reportf(imp.Pos(), "import of %s (%s) in determinism-critical package", path, why)
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if path, name, ok := pkgFunc(info, call); ok {
+				if why, banned := detBannedCalls[path][name]; banned {
+					pass.Reportf(call.Pos(), "call to %s.%s (%s) in determinism-critical package", path, name, why)
+				}
+			}
+		}
+		return true
+	})
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+			detRanges(pass, fd.Body)
+		}
+	}
+}
+
+// detRanges flags map iterations inside body that feed ordered output.
+func detRanges(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if sink := orderedSink(pass, rng, body); sink != "" {
+			pass.Reportf(rng.Pos(), "map iteration feeds ordered output via %s; iterate a sorted key slice instead", sink)
+		}
+		return true
+	})
+}
+
+// orderedSink scans a map-range body for order-sensitive sinks: an
+// append whose destination outlives the loop, a Write-family method
+// call (io.Writer, hash.Hash, strings.Builder, bytes.Buffer all spell
+// their order-sensitive entry point Write*), or printed output. Pure
+// aggregation over a map (sums, maxima, building another map) is
+// order-independent and stays legal, and so is the collect-then-sort
+// idiom: an append whose destination is later handed to a call after
+// the loop (sort.Slice(keys, ...), or a helper that sorts) has its
+// ordering fixed downstream, so responsibility moves there.
+func orderedSink(pass *Pass, rng *ast.RangeStmt, enclosing *ast.BlockStmt) string {
+	info := pass.Pkg.Info
+	var sink string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && len(call.Args) > 0 {
+			if b, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && b.Name() == "append" {
+				dst := rootIdent(call.Args[0])
+				if (dst == nil || declaredOutside(info, dst, rng)) && !handedOff(info, dst, rng, enclosing) {
+					sink = "append to " + exprString(call.Args[0])
+					return false
+				}
+			}
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "Write", "WriteString", "WriteByte", "WriteRune":
+				// Only method calls count; pkg.Write package functions
+				// resolve to a PkgName root and are skipped.
+				if _, isPkg := info.Uses[rootIdent(sel.X)].(*types.PkgName); !isPkg {
+					sink = fmt.Sprintf("%s.%s", exprString(sel.X), sel.Sel.Name)
+					return false
+				}
+			}
+		}
+		if path, name, ok := pkgFunc(info, call); ok && path == "fmt" {
+			switch name {
+			case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+				sink = "fmt." + name
+				return false
+			}
+		}
+		return true
+	})
+	return sink
+}
+
+// handedOff reports whether the append destination rooted at dst is
+// passed to some call after the range loop ends (the collect-then-sort
+// idiom; the callee owns the ordering from there).
+func handedOff(info *types.Info, dst *ast.Ident, rng *ast.RangeStmt, enclosing *ast.BlockStmt) bool {
+	if dst == nil {
+		return false
+	}
+	obj := info.Uses[dst]
+	if obj == nil {
+		obj = info.Defs[dst]
+	}
+	if obj == nil {
+		return false
+	}
+	off := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if off {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rng.End() {
+			return true
+		}
+		for _, arg := range call.Args {
+			if r := rootIdent(arg); r != nil && (info.Uses[r] == obj || info.Defs[r] == obj) {
+				off = true
+			}
+		}
+		return true
+	})
+	return off
+}
+
+// rootIdent returns the leftmost identifier of an expression chain
+// (x, x.f, x[i].g → x), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether id's object is declared outside the
+// node's source span (so writes to it survive the loop).
+func declaredOutside(info *types.Info, id *ast.Ident, n ast.Node) bool {
+	if id == nil {
+		return true
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil {
+		return true
+	}
+	return obj.Pos() < n.Pos() || obj.Pos() > n.End()
+}
+
+// exprString renders a short source form of simple expressions for
+// diagnostics.
+func exprString(e ast.Expr) string {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(v.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(v.X)
+	}
+	return "expr"
+}

@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// TrackedStruct is one struct whose fields feed content-addressed
+// keys. Every field must either be read inside the digest functions
+// (written into the key material) or be named in Exclude with the
+// reason it is transport-only. A field in neither set — the usual fate
+// of a freshly added field — is a build failure, which is the point:
+// the Parallelism/traceId exclusion contract becomes mechanical
+// instead of a hand-written proof in a PR description.
+type TrackedStruct struct {
+	// Type names the struct as "importpath.Name"
+	// ("gpa/internal/service.Request").
+	Type string
+	// Exclude maps deliberately undigested field names to the audited
+	// reason they cannot affect results.
+	Exclude map[string]string
+}
+
+// DigestConfig scopes the digestfields analyzer.
+type DigestConfig struct {
+	// Pkg is the package whose digest functions are scanned.
+	Pkg string
+	// Funcs names the digest functions, as "Recv.name" for methods and
+	// "name" for plain functions. A field read anywhere inside any of
+	// them counts as digested. A call to encoding/json's Marshal on a
+	// tracked struct digests every field wholesale (the canonical-JSON
+	// hashing path).
+	Funcs []string
+	// Structs lists the tracked key-feeding structs.
+	Structs []TrackedStruct
+}
+
+// DigestFields builds the digestfields analyzer: every field of every
+// struct feeding stage keys must be classified — digested or
+// explicitly excluded. It also rejects contradictions (an excluded
+// field that is in fact read inside a digest function) and rots
+// loudly: a configured function or struct that no longer resolves is
+// itself a diagnostic, so a rename cannot silently disable the check.
+func DigestFields(cfg DigestConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "digestfields",
+		Doc:  "every field of the structs feeding stage keys is digested or explicitly excluded",
+	}
+	a.Run = func(pass *Pass) {
+		if pass.Pkg.Path != cfg.Pkg {
+			return
+		}
+		pkgPos := pass.Pkg.Files[0].Name.Pos()
+
+		// Resolve the digest functions.
+		bodies := map[string]*ast.FuncDecl{}
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				bodies[funcKey(fd)] = fd
+			}
+		}
+		var scan []*ast.FuncDecl
+		for _, name := range cfg.Funcs {
+			fd, ok := bodies[name]
+			if !ok || fd.Body == nil {
+				pass.Reportf(pkgPos, "configured digest function %s.%s not found; update the digestfields config", cfg.Pkg, name)
+				continue
+			}
+			scan = append(scan, fd)
+		}
+
+		// Resolve the tracked struct types.
+		type tracked struct {
+			cfg *TrackedStruct
+			st  *types.Struct
+			// read collects fields seen inside digest functions;
+			// wholesale marks a canonical-encoding of the whole value.
+			read      map[string]bool
+			wholesale bool
+		}
+		byKey := map[string]*tracked{}
+		var order []*tracked
+		for i := range cfg.Structs {
+			ts := &cfg.Structs[i]
+			st := lookupStruct(pass.Pkgs, ts.Type)
+			if st == nil {
+				pass.Reportf(pkgPos, "tracked struct %s not found; update the digestfields config", ts.Type)
+				continue
+			}
+			t := &tracked{cfg: ts, st: st, read: map[string]bool{}}
+			byKey[ts.Type] = t
+			order = append(order, t)
+		}
+
+		// Collect field reads and wholesale encodings inside the digest
+		// functions.
+		info := pass.Pkg.Info
+		for _, fd := range scan {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					selInfo, ok := info.Selections[n]
+					if !ok || selInfo.Kind() != types.FieldVal {
+						return true
+					}
+					recv := namedOf(selInfo.Recv())
+					if recv == nil {
+						return true
+					}
+					if t, ok := byKey[typeKey(recv)]; ok {
+						t.read[n.Sel.Name] = true
+					}
+				case *ast.CallExpr:
+					path, name, ok := pkgFunc(info, n)
+					if !ok || path != "encoding/json" || name != "Marshal" || len(n.Args) != 1 {
+						return true
+					}
+					tv, ok := info.Types[n.Args[0]]
+					if !ok {
+						return true
+					}
+					if arg := namedOf(tv.Type); arg != nil {
+						if t, ok := byKey[typeKey(arg)]; ok {
+							t.wholesale = true
+						}
+					}
+				}
+				return true
+			})
+		}
+
+		funcs := strings.Join(cfg.Funcs, ", ")
+		for _, t := range order {
+			var missing []string
+			for i := 0; i < t.st.NumFields(); i++ {
+				field := t.st.Field(i).Name()
+				_, excluded := t.cfg.Exclude[field]
+				digested := t.wholesale || t.read[field]
+				switch {
+				case excluded && t.read[field]:
+					pass.Reportf(pkgPos, "field %s.%s is listed as digest-excluded but is read inside %s; pick one classification", t.cfg.Type, field, funcs)
+				case !excluded && !digested:
+					missing = append(missing, field)
+				}
+			}
+			sort.Strings(missing)
+			for _, field := range missing {
+				pass.Reportf(pkgPos, "field %s.%s is neither written into the digest (%s) nor named in the exclusion table; classify it", t.cfg.Type, field, funcs)
+			}
+			for field := range t.cfg.Exclude {
+				if !fieldExists(t.st, field) {
+					pass.Reportf(pkgPos, "digest exclusion names %s.%s, which no longer exists; prune the exclusion table", t.cfg.Type, field)
+				}
+			}
+		}
+	}
+	return a
+}
+
+// funcKey renders a FuncDecl name as the config form: "Recv.name" for
+// methods, "name" otherwise.
+func funcKey(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// lookupStruct resolves "importpath.Name" to its struct type across
+// the loaded packages (including dependency-only ones).
+func lookupStruct(pkgs map[string]*Package, key string) *types.Struct {
+	i := strings.LastIndex(key, ".")
+	if i < 0 {
+		return nil
+	}
+	pkg, name := key[:i], key[i+1:]
+	p, ok := pkgs[pkg]
+	if !ok {
+		return nil
+	}
+	obj := p.Types.Scope().Lookup(name)
+	if obj == nil {
+		return nil
+	}
+	st, _ := obj.Type().Underlying().(*types.Struct)
+	return st
+}
+
+func fieldExists(st *types.Struct, name string) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == name {
+			return true
+		}
+	}
+	return false
+}

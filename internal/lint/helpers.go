@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// pkgFunc resolves a call to a package-level function of an imported
+// package: for `rand.Intn(3)` it returns ("math/rand", "Intn"). The
+// import path comes from the type-checker, so renamed imports cannot
+// hide a call. ok is false for method calls, local calls, builtins,
+// and conversions.
+func pkgFunc(info *types.Info, call *ast.CallExpr) (path, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	ident, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := info.Uses[ident].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// namedOf unwraps pointers and aliases down to the defined type of t,
+// or nil when t does not resolve to one.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// typeKey names a defined type as "importpath.Name" (the form analyzer
+// configs use).
+func typeKey(n *types.Named) string {
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	n := namedOf(t)
+	return n != nil && typeKey(n) == "context.Context"
+}
+
+// hasPath reports whether list contains path.
+func hasPath(list []string, path string) bool {
+	for _, p := range list {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}

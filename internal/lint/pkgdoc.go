@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// PkgDocConfig scopes the pkgdoc analyzer.
+type PkgDocConfig struct {
+	// Figure2Prefixes lists import-path prefixes (the internal pipeline
+	// packages) whose package doc must state the package's Figure 2
+	// role — the documentation contract the contributor walkthrough in
+	// docs/ARCHITECTURE.md builds on.
+	Figure2Prefixes []string
+	// ExamplePrefixes lists import-path prefixes holding example mains,
+	// which only need some leading doc comment.
+	ExamplePrefixes []string
+}
+
+// PkgDoc builds the pkgdoc analyzer, the in-process port of the old
+// scripts/check-pkg-docs.sh gate: every package carries a package doc
+// comment ("Package <name> ..." for libraries, "Command <name> ..."
+// for mains), and the internal pipeline packages state where they sit
+// in the paper's Figure 2.
+func PkgDoc(cfg PkgDocConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "pkgdoc",
+		Doc:  "package doc comments exist and pipeline packages state their Figure 2 role",
+	}
+	a.Run = func(pass *Pass) {
+		pkg := pass.Pkg
+		example := hasPrefix(cfg.ExamplePrefixes, pkg.Path)
+
+		var doc *ast.CommentGroup
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				doc = f.Doc
+				break
+			}
+		}
+		pos := pkg.Files[0].Name.Pos()
+		name := pkg.Types.Name()
+		if name == "main" {
+			name = pkg.Path[strings.LastIndex(pkg.Path, "/")+1:]
+		}
+
+		if doc == nil {
+			want := "// Package " + name
+			if pkg.Main {
+				want = "// Command " + name
+			}
+			pass.Reportf(pos, "package %s has no package doc comment (want %q on one file)", pkg.Path, want+" ...")
+			return
+		}
+		text := doc.Text()
+		switch {
+		case example:
+			// Any leading comment documents an example.
+		case pkg.Main:
+			if !strings.HasPrefix(text, "Command "+name) {
+				pass.Reportf(doc.Pos(), "package doc for command %s must start %q", pkg.Path, "Command "+name)
+			}
+		default:
+			if !strings.HasPrefix(text, "Package "+name) {
+				pass.Reportf(doc.Pos(), "package doc for %s must start %q", pkg.Path, "Package "+name)
+			}
+		}
+		if hasPrefix(cfg.Figure2Prefixes, pkg.Path) && !strings.Contains(text, "Figure 2") {
+			pass.Reportf(doc.Pos(), "package doc for %s does not state its Figure 2 role (mention where it sits relative to the paper's Figure 2 pipeline)", pkg.Path)
+		}
+	}
+	return a
+}
+
+func hasPrefix(prefixes []string, path string) bool {
+	for _, p := range prefixes {
+		if strings.HasPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,32 @@
+// Package apierrbad seeds the apierrlint violation classes: bare
+// errors.New and unwrapped fmt.Errorf escaping through returns.
+package apierrbad
+
+import (
+	"errors"
+	"fmt"
+)
+
+// errBase at package level is legal: sentinels are declared with
+// errors.New, the rule bites only at return statements.
+var errBase = errors.New("base")
+
+// Bare returns an unclassifiable error.
+func Bare() error {
+	return errors.New("boom")
+}
+
+// Unwrapped formats without %w.
+func Unwrapped(n int) error {
+	return fmt.Errorf("bad value %d", n)
+}
+
+// Wrapped keeps the taxonomy tag and is legal.
+func Wrapped(err error) error {
+	return fmt.Errorf("wrapped: %w", err)
+}
+
+// Sentinel returns a pre-tagged value, which is legal.
+func Sentinel() error {
+	return errBase
+}

@@ -1,0 +1,3 @@
+module apierr.example
+
+go 1.24

@@ -1,0 +1,32 @@
+// Package ctxbad seeds the ctxfirst violation classes: a trailing
+// context parameter, and an exported context-less function that
+// synthesizes its own context.
+package ctxbad
+
+import "context"
+
+// Lookup takes its context second.
+func Lookup(name string, ctx context.Context) error {
+	return ctx.Err()
+}
+
+// Run is exported, blocking, and mints its own context.
+func Run() error {
+	ctx := context.Background()
+	return ctx.Err()
+}
+
+// helper is unexported, so its synthesized context is legal.
+func helper() error {
+	return context.TODO().Err()
+}
+
+// trailing exercises the FuncLit path.
+var trailing = func(n int, ctx context.Context) error {
+	return ctx.Err()
+}
+
+// Good is the contract-conforming shape.
+func Good(ctx context.Context, n int) error {
+	return ctx.Err()
+}

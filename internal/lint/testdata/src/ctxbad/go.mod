@@ -1,0 +1,3 @@
+module ctx.example
+
+go 1.24

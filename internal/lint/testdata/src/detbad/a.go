@@ -1,0 +1,65 @@
+// Package detbad seeds every detlint violation class plus the legal
+// idioms the analyzer must stay quiet about.
+package detbad
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Salt reads process-seeded randomness through a banned import.
+func Salt() int { return rand.Int() }
+
+// Home reads the environment.
+func Home() string { return os.Getenv("HOME") }
+
+// Keys leaks map iteration order: the appended slice is returned
+// without a downstream ordering call.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// SortedKeys is the legal collect-then-sort idiom: ordering
+// responsibility is handed to sort.Strings after the loop.
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Dump streams map iteration order into a Write-family sink.
+func Dump(m map[string]int, b *strings.Builder) {
+	for k := range m {
+		b.WriteString(k)
+	}
+}
+
+// Show prints in map iteration order.
+func Show(m map[string]int) {
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+
+// Total aggregates over a map, which is order-independent and legal.
+func Total(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

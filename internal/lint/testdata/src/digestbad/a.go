@@ -1,0 +1,33 @@
+// Package digestbad seeds every digestfields violation class: an
+// unclassified field, an exclusion contradicted by a read, a stale
+// exclusion, and config entries that no longer resolve.
+package digestbad
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Request mimics a key-feeding request struct.
+type Request struct {
+	Kind  string // digested
+	Seed  int64  // digested
+	Trace string // excluded, never read: legal
+	Skew  int    // excluded but read inside digest: contradiction
+	Extra int    // neither digested nor excluded: violation
+}
+
+// Model is digested wholesale through json.Marshal.
+type Model struct {
+	Name string
+	SM   int
+}
+
+func (r *Request) digest() string {
+	return fmt.Sprintf("%s|%d|%d", r.Kind, r.Seed, r.Skew)
+}
+
+func modelHash(m Model) []byte {
+	b, _ := json.Marshal(m)
+	return b
+}

@@ -1,0 +1,3 @@
+module digest.example
+
+go 1.24

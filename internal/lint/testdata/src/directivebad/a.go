@@ -1,0 +1,32 @@
+// Package directivebad exercises the gpa:lint-allow machinery: a
+// directive that suppresses a finding (counted as a waiver), one
+// naming an unknown analyzer (malformed), one with no reason
+// (malformed), and one with nothing to suppress (unused).
+package directivebad
+
+import "time"
+
+// Waived reads the clock under an audited exception; the directive on
+// the declaration covers the whole function.
+//
+//gpa:lint-allow detlint fixture waiver: this timestamp never reaches a digest
+func Waived() int64 { return time.Now().UnixNano() }
+
+// Unknown names an analyzer that does not exist, so the finding below
+// it survives and the directive is diagnosed as malformed.
+func Unknown() int64 {
+	//gpa:lint-allow nosuchlint bogus reason
+	return time.Now().UnixNano()
+}
+
+// NoReason omits the required reason.
+func NoReason() int64 {
+	//gpa:lint-allow detlint
+	return time.Now().UnixNano()
+}
+
+// Clean has nothing to suppress, so its directive is flagged as
+// unused.
+//
+//gpa:lint-allow detlint stale waiver kept after the violation was fixed
+func Clean() {}

@@ -1,0 +1,3 @@
+module directive.example
+
+go 1.24

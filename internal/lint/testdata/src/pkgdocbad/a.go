@@ -1,0 +1,4 @@
+package pkgdocbad
+
+// Root has code but the package has no doc comment.
+func Root() {}

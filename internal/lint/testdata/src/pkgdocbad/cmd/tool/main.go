@@ -1,0 +1,4 @@
+// Package tool uses the library form on a command.
+package main
+
+func main() {}

@@ -1,0 +1,4 @@
+// This free-form comment is enough for an example main.
+package main
+
+func main() {}

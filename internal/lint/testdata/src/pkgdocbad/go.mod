@@ -1,0 +1,3 @@
+module pkgdoc.example
+
+go 1.24

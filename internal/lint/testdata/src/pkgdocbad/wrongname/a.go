@@ -1,0 +1,5 @@
+// Package something documents the wrong name.
+package wrongname
+
+// F exists so the package is non-empty.
+func F() {}

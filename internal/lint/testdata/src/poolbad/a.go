@@ -1,0 +1,44 @@
+// Package poolbad seeds the poolpair violation classes: a pool that
+// is never refilled, a dropped Get result, and a drawn value that
+// stays local without a Put — next to the legal pairing and
+// ownership-transfer shapes.
+package poolbad
+
+import "sync"
+
+type buf struct{ n int }
+
+// orphan is drawn from but never refilled anywhere in the package.
+var orphan = sync.Pool{New: func() any { return new(buf) }}
+
+// paired has Puts, so only per-function misuse is flagged.
+var paired = sync.Pool{New: func() any { return new(buf) }}
+
+// Drop discards the drawn value outright.
+func Drop() {
+	_ = orphan.Get()
+}
+
+// Leak binds the drawn value but neither Puts nor transfers it.
+func Leak() int {
+	b := paired.Get().(*buf)
+	return b.n
+}
+
+// Good pairs the Get with a deferred Put.
+func Good() {
+	b := paired.Get().(*buf)
+	defer paired.Put(b)
+	b.n++
+}
+
+// Transfer hands ownership to the caller, who releases it.
+func Transfer() *buf {
+	return paired.Get().(*buf)
+}
+
+// Release is the caller-side Put of a transferred value.
+func Release(b *buf) {
+	b.n = 0
+	paired.Put(b)
+}

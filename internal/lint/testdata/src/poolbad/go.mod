@@ -1,0 +1,3 @@
+module pool.example
+
+go 1.24

@@ -3,7 +3,10 @@
 // cross-architecture sweeps), and the per-row measurement runner. It
 // carries no pipeline semantics of its own: callers store results by
 // index, so every use preserves the deterministic ordering the
-// pipeline's outputs are compared by.
+// pipeline's outputs are compared by. In the Figure 2 pipeline it is
+// the concurrency substrate under every stage, which is why the
+// bit-identical-at-any-parallelism contract reduces to the index
+// discipline here.
 package par
 
 import "sync"

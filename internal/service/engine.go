@@ -93,6 +93,7 @@ func ParseKind(s string) (Kind, error) {
 	case "measure":
 		return KindMeasure, nil
 	}
+	//gpa:lint-allow apierrlint gpad maps ParseKind failures to 400 bad_request at the call site, before taxonomy classification
 	return 0, fmt.Errorf("service: unknown kind %q (want advise, profile, or measure)", s)
 }
 
@@ -423,6 +424,7 @@ func New(opts Options) *Engine {
 	if entries == 0 {
 		entries = 512
 	}
+	//gpa:lint-allow ctxfirst engine-lifetime base context, not a per-call one; Shutdown cancels it and per-request ctxs layer on top
 	baseCtx, baseCancel := context.WithCancelCause(context.Background())
 	e := &Engine{
 		sem:            make(chan struct{}, workers),

@@ -200,6 +200,8 @@ type adviceEnvelope struct {
 // decodeEnvelope strictly unmarshals a blob payload: unknown fields
 // and trailing garbage are corruption, not forward compatibility —
 // cross-version compatibility is the schema string's job.
+//
+//gpa:lint-allow apierrlint decode errors degrade to counted store-corrupt misses inside stageLookup; they never cross the service boundary
 func decodeEnvelope(payload []byte, v any) error {
 	dec := json.NewDecoder(bytes.NewReader(payload))
 	dec.DisallowUnknownFields()
@@ -213,6 +215,8 @@ func decodeEnvelope(payload []byte, v any) error {
 }
 
 // decodeMeasure validates a measure-stage payload.
+//
+//gpa:lint-allow apierrlint decode errors degrade to counted store-corrupt misses inside stageLookup; they never cross the service boundary
 func decodeMeasure(payload []byte) (*measureArtifact, error) {
 	var ma measureArtifact
 	if err := decodeEnvelope(payload, &ma); err != nil {
@@ -226,6 +230,8 @@ func decodeMeasure(payload []byte) (*measureArtifact, error) {
 
 // decodeProfile validates a profile-stage payload and rebuilds the
 // profile plus its content digest from the embedded canonical bytes.
+//
+//gpa:lint-allow apierrlint decode errors degrade to counted store-corrupt misses inside stageLookup; they never cross the service boundary
 func decodeProfile(payload []byte) (*profileArtifact, error) {
 	var env profileEnvelope
 	if err := decodeEnvelope(payload, &env); err != nil {
@@ -250,6 +256,8 @@ func decodeProfile(payload []byte) (*profileArtifact, error) {
 }
 
 // decodeAdvice validates an advice-stage payload.
+//
+//gpa:lint-allow apierrlint decode errors degrade to counted store-corrupt misses inside stageLookup; they never cross the service boundary
 func decodeAdvice(payload []byte) (*adviceArtifact, error) {
 	var env adviceEnvelope
 	if err := decodeEnvelope(payload, &env); err != nil {
