@@ -7,19 +7,25 @@
 // trap. Here every request's latency is measured from its *scheduled*
 // send time, so time spent waiting behind a saturated server counts.
 //
-// The workload mixes the daemon's three kernel-submitting endpoints
-// (advise, profile, sweep) by integer weights with a deterministic
+// The workload mixes the daemon's kernel-submitting endpoints (advise,
+// profile, sweep, batch) by integer weights with a deterministic
 // interleaving, and -distinct rotates the request seed through N
 // variants to control the cache-hit rate: -distinct 1 is a warm
 // steady-state (one cold miss, then hits), large -distinct keeps the
-// simulator busy (every request a cold miss).
+// simulator busy (every request a cold miss). -tenants spreads the
+// same schedule across weighted tenant identities ("a=9,b=1" sends 90%
+// of requests as tenant a via the X-Tenant-Id header), which is how
+// the fairness scenarios offer a deliberately imbalanced load to
+// gpad's tenant-fair admission control.
 //
-// The summary is a versioned JSON object ("gpa-loadgen/1"): sent /
+// The summary is a versioned JSON object ("gpa-loadgen/2"): sent /
 // completed / shed counts, error counts by stable error code, latency
-// percentiles (p50/p90/p99/p999), and the /statsz counter deltas over
-// the run, so a scenario's client-side view and server-side view land
-// in one record. -out writes (or with -append, appends to) a JSON
-// array — the format of BENCH_6.json.
+// percentiles (p50/p90/p99/p999), per-tenant and per-lane breakdowns
+// (each tenant's own sent/ok/error counts and p50/p99), and the
+// /statsz counter deltas over the run, so a scenario's client-side
+// view and server-side view land in one record. -out writes (or with
+// -append, appends to) a JSON array — the format of BENCH_6.json and
+// BENCH_7.json.
 package main
 
 import (
@@ -62,14 +68,27 @@ BR0:	@P0 BRA LOOP {S:5}
 	EXIT {Q:1}
 `
 
-// summarySchemaVersion versions the summary record shape.
-const summarySchemaVersion = "gpa-loadgen/1"
+// summarySchemaVersion versions the summary record shape (v2 added
+// tenant/lane tags and the per-tenant breakdown).
+const summarySchemaVersion = "gpa-loadgen/2"
 
 // sample is one completed request's outcome.
 type sample struct {
 	latency time.Duration
 	status  int
 	code    string // stable error code ("" on success)
+	tenant  string // X-Tenant-Id sent ("" = default tenant)
+	lane    string // admission lane the endpoint maps to
+}
+
+// laneOf maps a mix kind to the admission lane gpad routes it to:
+// single advise/profile requests are interactive, batch and sweep ride
+// the batch lane.
+func laneOf(kind string) string {
+	if kind == "batch" || kind == "sweep" {
+		return "batch"
+	}
+	return "interactive"
 }
 
 // latencySummary is the percentile block of the summary record.
@@ -100,9 +119,25 @@ type summary struct {
 	// error code (queue_full appears both here and in Shed).
 	Errors  map[string]int `json:"errors,omitempty"`
 	Latency latencySummary `json:"latencyMs"`
+	// TenantMix echoes -tenants ("" = everything as the default tenant).
+	TenantMix string `json:"tenantMix,omitempty"`
+	// Tenants breaks the run down by the tenant each request was sent
+	// as — the record the fairness scenarios assert on.
+	Tenants map[string]*tenantSummary `json:"tenants,omitempty"`
+	// Lanes counts sent requests per admission lane.
+	Lanes map[string]int `json:"lanes,omitempty"`
 	// StatszDelta is the change in every numeric /statsz counter over
 	// the run (server-side view of the same interval).
 	StatszDelta map[string]float64 `json:"statszDelta,omitempty"`
+}
+
+// tenantSummary is one tenant's slice of the run.
+type tenantSummary struct {
+	Sent   int            `json:"sent"`
+	OK     int            `json:"ok"`
+	Errors map[string]int `json:"errors,omitempty"`
+	P50Ms  float64        `json:"p50Ms"`
+	P99Ms  float64        `json:"p99Ms"`
 }
 
 // mixEntry is one weighted endpoint kind.
@@ -122,9 +157,9 @@ func parseMix(s string) ([]mixEntry, error) {
 		kv := strings.SplitN(part, "=", 2)
 		kind := strings.TrimSpace(kv[0])
 		switch kind {
-		case "advise", "profile", "sweep":
+		case "advise", "profile", "sweep", "batch":
 		default:
-			return nil, fmt.Errorf("unknown mix kind %q (want advise, profile, or sweep)", kind)
+			return nil, fmt.Errorf("unknown mix kind %q (want advise, profile, sweep, or batch)", kind)
 		}
 		w := 1
 		if len(kv) == 2 {
@@ -139,6 +174,42 @@ func parseMix(s string) ([]mixEntry, error) {
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("empty mix")
+	}
+	return out, nil
+}
+
+// parseTenants parses -tenants ("a=9,b=1"; empty = no tenant headers)
+// into weighted entries for the same smooth-WRR scheduler the endpoint
+// mix uses, so an imbalanced tenant mix interleaves deterministically
+// instead of bunching one tenant's requests.
+func parseTenants(s string) ([]mixEntry, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []mixEntry
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		name := strings.TrimSpace(kv[0])
+		if name == "" {
+			return nil, fmt.Errorf("empty tenant name in %q", part)
+		}
+		w := 1
+		if len(kv) == 2 {
+			var err error
+			if w, err = strconv.Atoi(strings.TrimSpace(kv[1])); err != nil || w < 0 {
+				return nil, fmt.Errorf("bad weight in %q", part)
+			}
+		}
+		if w > 0 {
+			out = append(out, mixEntry{kind: name, weight: w})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -tenants")
 	}
 	return out, nil
 }
@@ -184,8 +255,30 @@ func body(kind string, seq, distinct, grid int) (path string, payload map[string
 	case "sweep":
 		payload["archs"] = []string{"v100", "t4"}
 		return "/v1/sweep", payload
+	case "batch":
+		// A one-entry batch: same simulation cost, but routed through
+		// the batch lane's admission path.
+		return "/v1/batch", map[string]any{"requests": []map[string]any{payload}}
 	}
 	return "/v1/advise", payload
+}
+
+// batchEntryError unwraps the first entry of a one-entry batch
+// envelope: the envelope itself is 200 for every admissible batch, so
+// shed and failed entries carry their error body inside it.
+func batchEntryError(respBody []byte) (code string, status int) {
+	var env struct {
+		Results []struct {
+			Error struct {
+				Code   string `json:"code"`
+				Status int    `json:"status"`
+			} `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(respBody, &env); err == nil && len(env.Results) > 0 {
+		return env.Results[0].Error.Code, env.Results[0].Error.Status
+	}
+	return "", 0
 }
 
 // errorCode extracts the stable error code from a gpad error body.
@@ -242,7 +335,10 @@ func main() {
 	rps := flag.Float64("rps", 20, "open-loop arrival rate (requests/second)")
 	duration := flag.Duration("duration", 10*time.Second, "how long to send load")
 	mixFlag := flag.String("mix", "advise=8,profile=1,sweep=1",
-		"endpoint mix as kind=weight pairs (kinds: advise, profile, sweep)")
+		"endpoint mix as kind=weight pairs (kinds: advise, profile, sweep, batch)")
+	tenantsFlag := flag.String("tenants", "",
+		"tenant mix as name=weight pairs sent via X-Tenant-Id "+
+			"(\"a=9,b=1\" = 90% tenant a; empty = no tenant header)")
 	distinct := flag.Int("distinct", 1,
 		"rotate request seeds through N variants: 1 = warm steady state, large = every request cold")
 	grid := flag.Int("grid", 160,
@@ -259,11 +355,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gpa-loadgen:", err)
 		os.Exit(2)
 	}
+	tenantsMix, err := parseTenants(*tenantsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpa-loadgen:", err)
+		os.Exit(2)
+	}
 	if *rps <= 0 || *duration <= 0 || *distinct < 1 {
 		fmt.Fprintln(os.Stderr, "gpa-loadgen: -rps, -duration, and -distinct must be positive")
 		os.Exit(2)
 	}
 	kinds := schedule(mix)
+	var tenants []string
+	if tenantsMix != nil {
+		tenants = schedule(tenantsMix)
+	}
 
 	client := &http.Client{
 		Timeout: *timeout,
@@ -293,18 +398,38 @@ func main() {
 		wg.Add(1)
 		go func(i int, sched time.Time) {
 			defer wg.Done()
-			path, payload := body(kinds[i%len(kinds)], i, *distinct, *grid)
+			kind := kinds[i%len(kinds)]
+			tenant := ""
+			if len(tenants) > 0 {
+				tenant = tenants[i%len(tenants)]
+			}
+			path, payload := body(kind, i, *distinct, *grid)
 			data, _ := json.Marshal(payload)
-			var s sample
-			resp, err := client.Post(*addr+path, "application/json", bytes.NewReader(data))
+			s := sample{tenant: tenant, lane: laneOf(kind)}
+			hr, err := http.NewRequest("POST", *addr+path, bytes.NewReader(data))
+			if err == nil {
+				hr.Header.Set("Content-Type", "application/json")
+				if tenant != "" {
+					hr.Header.Set("X-Tenant-Id", tenant)
+				}
+			}
+			var resp *http.Response
+			if err == nil {
+				resp, err = client.Do(hr)
+			}
 			if err != nil {
-				s = sample{latency: time.Since(sched), status: 0, code: "transport_error"}
+				s.latency, s.code = time.Since(sched), "transport_error"
 			} else {
 				respBody, _ := io.ReadAll(resp.Body)
 				resp.Body.Close()
-				s = sample{latency: time.Since(sched), status: resp.StatusCode}
+				s.latency, s.status = time.Since(sched), resp.StatusCode
 				if resp.StatusCode >= 300 {
 					s.code = errorCode(respBody, resp.StatusCode)
+				} else if kind == "batch" {
+					// Shed batch entries hide inside a 200 envelope.
+					if code, status := batchEntryError(respBody); code != "" {
+						s.code, s.status = code, status
+					}
 				}
 			}
 			mu.Lock()
@@ -328,12 +453,35 @@ func main() {
 		Sent:          n,
 		Completed:     len(samples),
 		Errors:        map[string]int{},
+		TenantMix:     *tenantsFlag,
 	}
 	lats := make([]time.Duration, 0, len(samples))
+	perTenant := make(map[string][]time.Duration)
 	var total time.Duration
 	for _, s := range samples {
 		lats = append(lats, s.latency)
 		total += s.latency
+		if len(tenants) > 0 {
+			if sum.Tenants == nil {
+				sum.Tenants = map[string]*tenantSummary{}
+			}
+			ts := sum.Tenants[s.tenant]
+			if ts == nil {
+				ts = &tenantSummary{Errors: map[string]int{}}
+				sum.Tenants[s.tenant] = ts
+			}
+			ts.Sent++
+			if s.code == "" {
+				ts.OK++
+			} else {
+				ts.Errors[s.code]++
+			}
+			perTenant[s.tenant] = append(perTenant[s.tenant], s.latency)
+		}
+		if sum.Lanes == nil {
+			sum.Lanes = map[string]int{}
+		}
+		sum.Lanes[s.lane]++
 		switch {
 		case s.code == "":
 			sum.OK++
@@ -343,6 +491,11 @@ func main() {
 				sum.Shed++
 			}
 		}
+	}
+	for tenant, tl := range perTenant {
+		sort.Slice(tl, func(i, j int) bool { return tl[i] < tl[j] })
+		sum.Tenants[tenant].P50Ms = percentile(tl, 0.50)
+		sum.Tenants[tenant].P99Ms = percentile(tl, 0.99)
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	if len(lats) > 0 {

@@ -9,6 +9,20 @@
 // load-shedding server that answers 503 queue_full instead of queueing
 // without bound.
 //
+// Admission is tenant-fair: every request may carry an X-Tenant-Id
+// header (absent or unsafe IDs share the "default" tenant), and
+// -qos-config assigns tenants deficit-weighted round-robin weights and
+// token-bucket quotas, so one flooding tenant cannot starve the rest.
+// Work runs in two priority lanes — interactive (advise/profile) ahead
+// of batch (batch/sweep), with -interactive-reserve worker slots batch
+// can never occupy — and a brownout controller (-brownout-p99-ms)
+// sheds batch-lane work first when queue delay degrades. Over-quota
+// requests answer 429 quota_exceeded and brownout sheds answer 503
+// overloaded; every shed response carries a computed, jittered
+// Retry-After. Tenant IDs never affect results: identical requests
+// from different tenants share one cached simulation, each billed to
+// its own tenant.
+//
 // Responses follow the versioned structured result schema
 // (gpa.ResultSchemaVersion): schemaVersion, structured advice entries,
 // the profile digest, the architecture key, and run timing, with the
@@ -105,6 +119,16 @@ func main() {
 	storeDir := flag.String("store-dir", "",
 		"persistent per-stage artifact store directory: a restarted gpad starts warm "+
 			"from it, and corrupt blobs are recomputed, never served (empty = in-memory only)")
+	qosConfig := flag.String("qos-config", "",
+		"tenant admission policy JSON file: per-tenant DWRR weights and token-bucket "+
+			"quotas, the interactive-lane reserve, and the brownout controller "+
+			"(empty = one equal-weight default tenant, nothing metered)")
+	interactiveReserve := flag.Int("interactive-reserve", 0,
+		"worker slots reserved for the interactive lane (advise/profile); batch and "+
+			"sweep jobs never occupy more than workers minus this (overrides -qos-config)")
+	brownoutP99 := flag.Float64("brownout-p99-ms", 0,
+		"queue-delay p99 threshold in ms above which batch-lane work is shed "+
+			"(0 = disabled; overrides -qos-config)")
 	logFormat := flag.String("log-format", "text",
 		"request/lifecycle log encoding: text (key=value) or json (one object per line)")
 	logLevel := flag.String("log-level", "info",
@@ -139,12 +163,27 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	reserveSet, brownoutSet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "interactive-reserve":
+			reserveSet = true
+		case "brownout-p99-ms":
+			brownoutSet = true
+		}
+	})
+	qos, err := loadQoSConfig(*qosConfig, *interactiveReserve, reserveSet, *brownoutP99, brownoutSet)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpad: bad qos config:", err)
+		os.Exit(2)
+	}
 	eng := gpa.NewEngine(&gpa.EngineOptions{
 		Workers:        *workers,
 		CacheEntries:   *cacheEntries,
 		MaxQueue:       *maxQueue,
 		DefaultTimeout: *jobTimeout,
 		Store:          st,
+		QoS:            qos,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

@@ -176,6 +176,7 @@ func noteResult(w http.ResponseWriter, res *gpa.Result) {
 var engineGauges = map[string]bool{
 	"inflight": true, "queued": true, "queueCapacity": true,
 	"cacheEntries": true, "workers": true, "allocsPerJob": true,
+	"interactiveQueued": true, "batchQueued": true, "brownoutLevel": true,
 }
 
 // writeEngineMetrics renders every EngineStats field as
@@ -228,6 +229,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Gauge("gpa_uptime_seconds", "Seconds since the server started.",
 		nil, time.Since(s.started).Seconds())
 	s.writeEngineMetrics(p)
+	writeTenantMetrics(p, s.eng.Stats())
 	obs.WriteStageLatency(p, s.eng.StageLatency())
 	s.metrics.Write(p)
 	obs.WriteGoRuntime(p)

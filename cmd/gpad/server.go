@@ -8,6 +8,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -38,6 +39,9 @@ type server struct {
 	// metrics accumulates the per-route request counters and latency
 	// histograms /metrics renders.
 	metrics *obs.RequestMetrics
+	// hints computes the jittered Retry-After values shed responses
+	// (429 and 503) advertise.
+	hints retryHints
 	// version is the build version stamped on /healthz and
 	// gpa_build_info.
 	version string
@@ -277,6 +281,10 @@ func classify(err error) (status int, code string) {
 		return http.StatusServiceUnavailable, "queue_full"
 	case errors.Is(err, gpa.ErrShuttingDown):
 		return http.StatusServiceUnavailable, "shutting_down"
+	case errors.Is(err, gpa.ErrQuotaExceeded):
+		return http.StatusTooManyRequests, "quota_exceeded"
+	case errors.Is(err, gpa.ErrOverloaded):
+		return http.StatusServiceUnavailable, "overloaded"
 	case errors.Is(err, gpa.ErrUnknownArch):
 		return http.StatusBadRequest, "unknown_arch"
 	case errors.Is(err, gpa.ErrAssemble):
@@ -348,12 +356,15 @@ func (s *server) handleProfile(w http.ResponseWriter, r *http.Request) {
 // construction (parse/assemble/pack) into the engine's assemble-stage
 // histogram — gpad pre-builds programs before submission, so the
 // service-side assemble timer never sees HTTP traffic's real cost —
-// and stamping the request's trace ID onto the job.
-func (s *server) buildJob(w http.ResponseWriter, req *kernelRequest) (gpa.Job, error) {
+// and stamping the request's trace ID and tenant onto the job.
+func (s *server) buildJob(w http.ResponseWriter, r *http.Request, req *kernelRequest) (gpa.Job, error) {
 	start := time.Now()
 	job, err := req.job(s)
 	s.eng.StageLatency().Since(obs.StageAssemble, start)
 	job.TraceID = traceIDOf(w)
+	if job.Tenant = clientTenant(r); job.Tenant != "" {
+		note(w, "tenant", job.Tenant)
+	}
 	return job, err
 }
 
@@ -364,14 +375,14 @@ func (s *server) handleOne(w http.ResponseWriter, r *http.Request, kind gpa.JobK
 		return
 	}
 	req.Kind = kind.String()
-	job, err := s.buildJob(w, &req)
+	job, err := s.buildJob(w, r, &req)
 	if err != nil {
 		writeRequestError(w, err)
 		return
 	}
 	res := s.eng.Do(r.Context(), job)
 	if res.Err != nil {
-		writeTypedError(w, res.Err)
+		s.writeTypedError(w, res.Err)
 		return
 	}
 	out := job.Result(res)
@@ -411,12 +422,15 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	live := make([]int, 0, len(req.Requests))
 	liveJobs := make([]gpa.Job, 0, len(req.Requests))
 	for i := range req.Requests {
-		job, err := s.buildJob(w, &req.Requests[i])
+		job, err := s.buildJob(w, r, &req.Requests[i])
 		if err != nil {
 			_, body := requestErrorBody(err)
 			out.Results[i] = body
 			continue
 		}
+		// Batches are bulk work: they ride the batch lane, which queues
+		// behind interactive requests and is shed first under overload.
+		job.Lane = gpa.LaneBatch
 		live = append(live, i)
 		liveJobs = append(liveJobs, job)
 	}
@@ -469,7 +483,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		gpus = append(gpus, g)
 	}
 	req.Arch = "" // per-arch options are set by Sweep
-	job, err := s.buildJob(w, &req.kernelRequest)
+	job, err := s.buildJob(w, r, &req.kernelRequest)
 	if err != nil {
 		writeRequestError(w, err)
 		return
@@ -594,11 +608,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeTypedError maps err through the taxonomy table and writes the
-// v2 error body; shed-load responses advertise a retry.
-func writeTypedError(w http.ResponseWriter, err error) {
+// v2 error body; shed-load responses (429 quota, 503 queue_full /
+// overloaded / shutting_down) advertise a computed, jittered
+// Retry-After instead of a static constant: quota rejections carry
+// their bucket's refill time, overload gets a backlog-drain estimate.
+func (s *server) writeTypedError(w http.ResponseWriter, err error) {
 	status, body := errorBodyOf(err)
-	if status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "1")
+	if status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterFor(err)))
 	}
 	writeJSON(w, status, body)
 }

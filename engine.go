@@ -8,6 +8,7 @@ import (
 	"gpa/internal/arch"
 	"gpa/internal/obs"
 	"gpa/internal/profiler"
+	"gpa/internal/qos"
 	"gpa/internal/service"
 )
 
@@ -65,11 +66,61 @@ type EngineOptions struct {
 	// outputs survive restarts and are shared between engines pointed
 	// at the same directory. nil = in-memory only.
 	Store *Store
+	// QoS configures tenant-fair admission: per-tenant DWRR weights,
+	// token-bucket quotas, the interactive-lane reserve, and the
+	// brownout controller (nil = every caller shares one equal-weight
+	// "default" tenant and nothing is metered). The config must
+	// validate; build one with NewQoSConfig or ParseQoSConfig.
+	QoS *QoSConfig
 }
 
 // EngineStats is a snapshot of the engine's cache and scheduling
 // counters (the numbers gpad exposes at /statsz).
 type EngineStats = service.Stats
+
+// TenantStats is the per-tenant slice of EngineStats.Tenants: DWRR
+// weight plus served/shed/quota/brownout counters and the live queue
+// depth for one tenant.
+type TenantStats = service.TenantStats
+
+// QoSConfig configures tenant-fair admission (see EngineOptions.QoS).
+// The zero value is valid: one equal-weight default tenant, no quotas,
+// brownout disabled. Build richer configs fluently with NewQoSConfig
+// or parse operator JSON with ParseQoSConfig.
+type QoSConfig = qos.Config
+
+// TenantQoSConfig is one tenant's admission policy: DWRR weight and an
+// optional token-bucket quota (requests/second + burst).
+type TenantQoSConfig = qos.TenantConfig
+
+// BrownoutConfig tunes the overload controller that sheds batch-lane
+// work when the queue-delay p99 crosses a threshold.
+type BrownoutConfig = qos.BrownoutConfig
+
+// NewQoSConfig starts a fluent, self-validating QoSConfig builder.
+func NewQoSConfig() *qos.ConfigBuilder { return qos.NewConfig() }
+
+// NewTenantQoSConfig starts a fluent TenantQoSConfig builder.
+func NewTenantQoSConfig() *qos.TenantConfigBuilder { return qos.NewTenantConfig() }
+
+// ParseQoSConfig parses and validates an operator-supplied JSON QoS
+// config (unknown fields are rejected). cmd/gpad loads -qos-config
+// files through this.
+func ParseQoSConfig(data []byte) (QoSConfig, error) { return qos.ParseConfig(data) }
+
+// Lane is a job's admission priority class. The engine schedules the
+// interactive lane ahead of batch and sheds batch first under
+// overload; lanes never affect what a job computes.
+type Lane = qos.Lane
+
+const (
+	// LaneInteractive is the latency-sensitive lane (the zero value):
+	// single advise/profile requests a person is waiting on.
+	LaneInteractive = qos.LaneInteractive
+	// LaneBatch is the throughput lane: sweeps and bulk jobs that
+	// tolerate queueing and are shed first under overload.
+	LaneBatch = qos.LaneBatch
+)
 
 // NewEngine builds an engine (nil opts = defaults).
 func NewEngine(opts *EngineOptions) *Engine {
@@ -83,6 +134,7 @@ func NewEngine(opts *EngineOptions) *Engine {
 		MaxQueue:       o.MaxQueue,
 		DefaultTimeout: o.DefaultTimeout,
 		StageEntries:   o.StageEntries,
+		QoS:            o.QoS,
 	}
 	if o.Store != nil {
 		svcOpts.Disk = o.Store.disk
@@ -128,6 +180,16 @@ type Job struct {
 	// differing only in TraceID share one simulation and byte-identical
 	// responses.
 	TraceID string
+	// Tenant names who this job is billed to and scheduled as
+	// (cmd/gpad accepts it via X-Tenant-Id; "" = the shared "default"
+	// tenant). Like TraceID it never affects results: tenants are
+	// excluded from the cache digest and stage keys, so identical jobs
+	// from different tenants share one simulation — each tenant is
+	// still billed and counted for its own request.
+	Tenant string
+	// Lane is the job's admission priority (zero = LaneInteractive).
+	// Engine.Sweep and gpad's batch/sweep endpoints run on LaneBatch.
+	Lane Lane
 }
 
 // JobResult is the outcome of one job. Exactly one of Err or the
@@ -192,6 +254,8 @@ func (j Job) request() (service.Request, error) {
 		Workload:     o.Workload,
 		WorkloadKey:  j.WorkloadKey,
 		TraceID:      j.TraceID,
+		Tenant:       j.Tenant,
+		Lane:         j.Lane,
 	}, nil
 }
 
@@ -265,7 +329,9 @@ func (e *Engine) AdviseAll(ctx context.Context, kernels []*Kernel, opts *Options
 // Sweep runs the job template once per listed architecture model
 // concurrently, overriding Options.GPU per run (nil or empty gpus =
 // every registered model, in registry order). Results are positionally
-// aligned with the returned model list.
+// aligned with the returned model list. Sweeps are bulk work by
+// definition, so every job runs on LaneBatch regardless of the
+// template's Lane; the lane never affects results.
 func (e *Engine) Sweep(ctx context.Context, j Job, gpus []*arch.GPU) ([]*arch.GPU, []JobResult) {
 	if len(gpus) == 0 {
 		gpus = arch.All()
@@ -278,6 +344,7 @@ func (e *Engine) Sweep(ctx context.Context, j Job, gpus []*arch.GPU) ([]*arch.GP
 		o.GPU = g
 		jg := j
 		jg.Options = &o
+		jg.Lane = LaneBatch
 		jobs[i] = jg
 	}
 	return gpus, e.DoAll(ctx, jobs)

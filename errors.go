@@ -38,6 +38,14 @@ var (
 	ErrShuttingDown = apierr.ErrShuttingDown
 	// ErrSimLimit: the simulation exceeded its runaway-cycle bound.
 	ErrSimLimit = apierr.ErrSimLimit
+	// ErrQuotaExceeded: the job's tenant is over its admission quota and
+	// the job was shed before touching the cache or a worker. The error
+	// carries a computed backoff; see QuotaError.
+	ErrQuotaExceeded = apierr.ErrQuotaExceeded
+	// ErrOverloaded: the engine's brownout controller is shedding this
+	// job's lane to protect queue latency; retry later or on the
+	// interactive lane.
+	ErrOverloaded = apierr.ErrOverloaded
 )
 
 // CanceledError is the concrete type cancellation errors carry;
@@ -45,3 +53,9 @@ var (
 // (context.Canceled for an explicit cancel, context.DeadlineExceeded
 // for an expired deadline).
 type CanceledError = apierr.CanceledError
+
+// QuotaError is the concrete type quota rejections carry;
+// errors.As(err, &qe) exposes the billed tenant and a computed
+// RetryAfter hint (cmd/gpad forwards it as the Retry-After header on
+// 429 responses).
+type QuotaError = apierr.QuotaError

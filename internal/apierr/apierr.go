@@ -16,6 +16,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 )
 
 var (
@@ -40,6 +41,17 @@ var (
 	// ErrShuttingDown tags requests rejected because the engine is
 	// draining for shutdown.
 	ErrShuttingDown = errors.New("shutting down")
+	// ErrQuotaExceeded tags requests shed because the tenant's
+	// token-bucket quota is exhausted (HTTP 429; retry after the bucket
+	// accrues a token). Carried by QuotaError, which adds the computed
+	// Retry-After hint.
+	ErrQuotaExceeded = errors.New("quota exceeded")
+	// ErrOverloaded tags requests shed by the brownout controller: the
+	// engine is saturated (queued-wait p99 over threshold) and is
+	// degrading batch-lane work to protect interactive latency. Distinct
+	// from ErrQueueFull so the 503 split between "queue at capacity" and
+	// "deliberate overload shedding" stays visible in stats.
+	ErrOverloaded = errors.New("overloaded")
 	// ErrSimLimit tags simulations aborted by the runaway-cycle bound
 	// (Config.MaxCycles), usually a livelocked kernel.
 	ErrSimLimit = errors.New("simulation limit exceeded")
@@ -74,6 +86,25 @@ func Canceled(cause error) error {
 	}
 	return &CanceledError{Cause: cause}
 }
+
+// QuotaError is the concrete type quota sheds carry: errors.Is matches
+// ErrQuotaExceeded, and errors.As exposes the tenant and the time until
+// the tenant's bucket accrues its next token, which cmd/gpad turns into
+// the 429 Retry-After header.
+type QuotaError struct {
+	// Tenant is the over-quota tenant (after default normalization).
+	Tenant string
+	// RetryAfter is how long until one token accrues at the tenant's
+	// configured rate — the earliest moment a retry can succeed.
+	RetryAfter time.Duration
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("%v: tenant %q (retry after %v)", ErrQuotaExceeded, e.Tenant, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrQuotaExceeded) match.
+func (e *QuotaError) Is(target error) bool { return target == ErrQuotaExceeded }
 
 // CtxErr returns nil while ctx is live, and the context's error
 // wrapped in ErrCanceled once it is done. It is the cancel checkpoint

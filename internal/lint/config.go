@@ -51,6 +51,8 @@ func DefaultSuite() []*Analyzer {
 						"Parallelism": "simulator results are bit-identical at every parallelism level (TestParallelMatchesSequential)",
 						"Timeout":     "deadlines abort work; they never alter a completed result",
 						"TraceID":     "transport-only observability; pinned by TestTraceIDExcludedFromDigest",
+						"Tenant":      "admission metadata: decides who runs next and who is billed, never what a run computes; two tenants share one cache entry and one flight — pinned by TestTenantExcludedFromDigest",
+						"Lane":        "admission priority; scheduling order cannot change a completed result — pinned by TestTenantExcludedFromDigest",
 					},
 				},
 				{Type: "gpa/internal/blamer.Options"},

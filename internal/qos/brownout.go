@@ -1,0 +1,108 @@
+package qos
+
+import "sort"
+
+// brownout is the overload self-defense controller: a level stepped up
+// and down from the p99 of queued-wait over a sliding window of grant
+// observations, and per-lane deterministic fractional shedders driven
+// by that level. Everything is deliberately rand-free: at level L out
+// of MaxLevel, an error-accumulator sheds exactly ⌈L/MaxLevel·N⌉ of
+// every N batch arrivals, so tests can pin the shed pattern instead of
+// asserting on probabilities. Not safe for concurrent use; the
+// Scheduler guards it with its own lock.
+//
+// The state machine is a single integer level:
+//
+//	level 0:         no shedding (healthy)
+//	0 < level < max: shed level/max of batch-lane arrivals
+//	level == max:    shed all batch arrivals; shed interactive
+//	                 arrivals only while the interactive queue is
+//	                 deeper than InteractiveShedDepth
+//
+// Each ReevalEvery observations: p99 > threshold steps the level up
+// one; p99 < threshold/2 steps it down one (hysteresis, so the level
+// does not oscillate around the threshold).
+type brownout struct {
+	cfg   BrownoutConfig
+	win   []float64 // ring buffer of grant waits, milliseconds
+	idx   int
+	n     int // observations in win (≤ len(win))
+	since int // observations since the last re-evaluation
+	level int
+	acc   [numLanes]float64 // per-lane shed accumulators
+	scr   []float64         // p99 scratch, reused across evals
+}
+
+func newBrownout(cfg BrownoutConfig) brownout {
+	return brownout{cfg: cfg, win: make([]float64, cfg.Window), scr: make([]float64, 0, cfg.Window)}
+}
+
+// enabled reports whether the controller is active at all.
+func (b *brownout) enabled() bool { return b.cfg.P99ThresholdMs > 0 }
+
+// observe records one grant's queued wait and periodically re-evaluates
+// the level.
+func (b *brownout) observe(waitMs float64) {
+	if !b.enabled() {
+		return
+	}
+	b.win[b.idx] = waitMs
+	b.idx = (b.idx + 1) % len(b.win)
+	if b.n < len(b.win) {
+		b.n++
+	}
+	b.since++
+	if b.since < b.cfg.ReevalEvery {
+		return
+	}
+	b.since = 0
+	p99 := b.p99()
+	switch {
+	case p99 > b.cfg.P99ThresholdMs:
+		if b.level < b.cfg.MaxLevel {
+			b.level++
+		}
+	case p99 < b.cfg.P99ThresholdMs/2:
+		if b.level > 0 {
+			b.level--
+		}
+	}
+}
+
+// p99 computes the 99th percentile of the current window.
+func (b *brownout) p99() float64 {
+	if b.n == 0 {
+		return 0
+	}
+	b.scr = append(b.scr[:0], b.win[:b.n]...)
+	sort.Float64s(b.scr)
+	i := (b.n * 99) / 100
+	if i >= b.n {
+		i = b.n - 1
+	}
+	return b.scr[i]
+}
+
+// shed decides whether to reject one arriving request on lane.
+// interactiveQueued is the current live interactive queue depth (the
+// reserve-exhausted signal for the last-resort interactive shed).
+func (b *brownout) shed(lane Lane, interactiveQueued int) bool {
+	if !b.enabled() || b.level == 0 {
+		return false
+	}
+	if lane == LaneInteractive {
+		if b.level < b.cfg.MaxLevel {
+			return false
+		}
+		if b.cfg.InteractiveShedDepth < 0 || interactiveQueued <= b.cfg.InteractiveShedDepth {
+			return false
+		}
+		return true
+	}
+	b.acc[lane] += float64(b.level) / float64(b.cfg.MaxLevel)
+	if b.acc[lane] >= 1 {
+		b.acc[lane]--
+		return true
+	}
+	return false
+}

@@ -1,0 +1,112 @@
+package qos
+
+import "testing"
+
+// brownoutFor builds a controller with a tight window for direct
+// state-machine tests.
+func brownoutFor(t *testing.T) brownout {
+	t.Helper()
+	cfg := BrownoutConfig{
+		P99ThresholdMs:       100,
+		Window:               8,
+		ReevalEvery:          4,
+		MaxLevel:             4,
+		InteractiveShedDepth: 10,
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return newBrownout(cfg)
+}
+
+func observeN(b *brownout, waitMs float64, n int) {
+	for i := 0; i < n; i++ {
+		b.observe(waitMs)
+	}
+}
+
+func TestBrownoutLevelStateMachine(t *testing.T) {
+	b := brownoutFor(t)
+	if b.level != 0 {
+		t.Fatalf("initial level %d", b.level)
+	}
+	// Healthy waits: level stays 0.
+	observeN(&b, 1, 8)
+	if b.level != 0 {
+		t.Fatalf("level %d after healthy waits, want 0", b.level)
+	}
+	// Saturated waits: one step up per re-evaluation, capped at max.
+	observeN(&b, 500, 4)
+	if b.level != 1 {
+		t.Fatalf("level %d after first saturated window, want 1", b.level)
+	}
+	observeN(&b, 500, 4*10)
+	if b.level != 4 {
+		t.Fatalf("level %d after sustained saturation, want cap 4", b.level)
+	}
+	// Recovery: p99 under half the threshold steps back down.
+	observeN(&b, 1, 4*10)
+	if b.level != 0 {
+		t.Fatalf("level %d after recovery, want 0", b.level)
+	}
+	// Hysteresis: p99 between threshold/2 and threshold holds steady.
+	observeN(&b, 500, 4)
+	observeN(&b, 75, 8) // window now all 75ms
+	lvl := b.level
+	observeN(&b, 75, 4*4)
+	if b.level != lvl {
+		t.Fatalf("level moved %d→%d inside the hysteresis band", lvl, b.level)
+	}
+}
+
+// TestBrownoutShedsBatchFirst pins the ISSUE's acceptance criterion:
+// below MaxLevel only batch-lane arrivals are shed — deterministically,
+// level/MaxLevel of them — and interactive arrivals are shed only at
+// MaxLevel once the interactive queue is past the reserve depth.
+func TestBrownoutShedsBatchFirst(t *testing.T) {
+	b := brownoutFor(t)
+	observeN(&b, 500, 4*2) // level 2 of 4: shed half of batch
+	if b.level != 2 {
+		t.Fatalf("level %d, want 2", b.level)
+	}
+	shed := 0
+	for i := 0; i < 10; i++ {
+		if b.shed(LaneBatch, 0) {
+			shed++
+		}
+	}
+	if shed != 5 {
+		t.Fatalf("level 2/4 shed %d of 10 batch arrivals, want exactly 5 (deterministic accumulator)", shed)
+	}
+	for i := 0; i < 100; i++ {
+		if b.shed(LaneInteractive, 1000) {
+			t.Fatal("interactive arrival shed below MaxLevel")
+		}
+	}
+
+	observeN(&b, 500, 4*2) // level 4 = MaxLevel
+	if b.level != 4 {
+		t.Fatalf("level %d, want 4", b.level)
+	}
+	for i := 0; i < 10; i++ {
+		if !b.shed(LaneBatch, 0) {
+			t.Fatal("MaxLevel passed a batch arrival")
+		}
+	}
+	// Interactive survives MaxLevel while its queue is within depth...
+	if b.shed(LaneInteractive, 10) {
+		t.Fatal("interactive shed at MaxLevel with queue within InteractiveShedDepth")
+	}
+	// ...and is shed only once the queue is past it.
+	if !b.shed(LaneInteractive, 11) {
+		t.Fatal("interactive not shed at MaxLevel past InteractiveShedDepth")
+	}
+}
+
+func TestBrownoutDisabled(t *testing.T) {
+	b := newBrownout(BrownoutConfig{}.withDefaults())
+	observeN(&b, 1e6, 1000)
+	if b.level != 0 || b.shed(LaneBatch, 0) {
+		t.Fatal("disabled controller (threshold 0) shed work")
+	}
+}

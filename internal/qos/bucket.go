@@ -1,0 +1,38 @@
+package qos
+
+import "time"
+
+// bucket is a lazily-refilled token bucket. It is not safe for
+// concurrent use; the Scheduler guards every bucket with its own lock.
+type bucket struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket depth
+	tok   float64
+	last  time.Time
+}
+
+func newBucket(rate, burst float64, now time.Time) *bucket {
+	return &bucket{rate: rate, burst: burst, tok: burst, last: now}
+}
+
+// take spends one token if available. When the bucket is empty it
+// reports how long until one token accrues at the configured rate —
+// the earliest useful retry time, which gpad turns into Retry-After.
+func (b *bucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
+	if now.After(b.last) {
+		b.tok += b.rate * now.Sub(b.last).Seconds()
+		if b.tok > b.burst {
+			b.tok = b.burst
+		}
+		b.last = now
+	}
+	if b.tok >= 1 {
+		b.tok--
+		return true, 0
+	}
+	retryAfter = time.Duration((1 - b.tok) / b.rate * float64(time.Second))
+	if retryAfter <= 0 {
+		retryAfter = time.Millisecond
+	}
+	return false, retryAfter
+}

@@ -1,0 +1,92 @@
+package qos
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseConfigStrict(t *testing.T) {
+	good := []byte(`{
+		"tenants": {
+			"a": {"weight": 2, "ratePerSec": 50, "burst": 10},
+			"b": {"weight": 1}
+		},
+		"defaultTenant": {"weight": 1},
+		"interactiveReserve": 1,
+		"brownout": {"p99ThresholdMs": 250}
+	}`)
+	cfg, err := ParseConfig(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Tenants["a"].Weight != 2 || cfg.Tenants["a"].RatePerSec != 50 {
+		t.Fatalf("parsed config lost tenant a: %+v", cfg.Tenants["a"])
+	}
+	if cfg.InteractiveReserve != 1 || cfg.Brownout.P99ThresholdMs != 250 {
+		t.Fatalf("parsed config lost top-level fields: %+v", cfg)
+	}
+
+	// A typoed key must fail loudly, not run with silent defaults.
+	if _, err := ParseConfig([]byte(`{"tenant": {}}`)); err == nil || !strings.Contains(err.Error(), "unknown field") {
+		t.Fatalf("unknown field accepted: %v", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []struct {
+		name string
+		json string
+	}{
+		{"negative weight", `{"tenants": {"a": {"weight": -1}}}`},
+		{"negative rate", `{"tenants": {"a": {"ratePerSec": -5}}}`},
+		{"burst without rate", `{"tenants": {"a": {"burst": 10}}}`},
+		{"empty tenant id", `{"tenants": {"": {"weight": 1}}}`},
+		{"negative reserve", `{"interactiveReserve": -1}`},
+		{"negative brownout threshold", `{"brownout": {"p99ThresholdMs": -1}}`},
+	}
+	for _, tc := range bad {
+		if _, err := ParseConfig([]byte(tc.json)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestBuilderValidates(t *testing.T) {
+	if _, err := NewTenantConfig().Weight(-1).Build(); err == nil {
+		t.Fatal("builder accepted a negative weight")
+	}
+	if _, err := NewConfig().Tenant("a", NewTenantConfig().Quota(0, 5)).Build(); err == nil {
+		t.Fatal("builder accepted burst without rate")
+	}
+	cfg, err := NewConfig().
+		Tenant("a", NewTenantConfig().Weight(3).Quota(100, 200)).
+		DefaultTenant(NewTenantConfig().Weight(1)).
+		InteractiveReserve(2).
+		Brownout(BrownoutConfig{P99ThresholdMs: 100}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Tenants["a"].Weight != 3 || cfg.Tenants["a"].Burst != 200 {
+		t.Fatalf("builder lost fields: %+v", cfg.Tenants["a"])
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	cfg := Config{Tenants: map[string]TenantConfig{"a": {RatePerSec: 10}}}.withDefaults()
+	if cfg.DefaultTenant.Weight != 1 || cfg.MaxTenants != 64 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	if a := cfg.Tenants["a"]; a.Weight != 1 || a.Burst != 10 {
+		t.Fatalf("tenant defaults not applied (burst should be one second of rate): %+v", a)
+	}
+	if b := cfg.Brownout; b.Window != 256 || b.ReevalEvery != 64 || b.MaxLevel != 8 || b.InteractiveShedDepth != 64 {
+		t.Fatalf("brownout defaults not applied: %+v", b)
+	}
+}
+
+func TestLaneString(t *testing.T) {
+	if LaneInteractive.String() != "interactive" || LaneBatch.String() != "batch" {
+		t.Fatal("lane names changed; gpad metric labels and loadgen summaries depend on them")
+	}
+}

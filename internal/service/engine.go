@@ -9,9 +9,17 @@
 // module bytes plus every result-affecting field — is the cache key.
 // The engine resolves each request in three tiers: an LRU result cache
 // (hit: no simulation), a singleflight table (N identical concurrent
-// requests share ONE simulation), and finally a semaphore-bounded run
+// requests share ONE simulation), and finally a worker-bounded run
 // of the pipeline (simulate / profile / blame / advise via the same
-// internal packages the gpa API composes).
+// internal packages the gpa API composes). Worker slots are granted by
+// a tenant-aware admission scheduler (internal/qos): per-tenant queues
+// under deficit-weighted round robin, an interactive lane that
+// preempts queued batch work, per-tenant token-bucket quotas shedding
+// over-quota callers with ErrQuotaExceeded, and a brownout controller
+// shedding batch work first when queued-wait p99 says the engine is
+// saturated. Tenant and lane are transport-only metadata: they decide
+// who runs next, never what a run computes, and are excluded from the
+// digest and every stage key exactly like TraceID.
 //
 // Cancellation contract: Do takes a context.Context and honors it at
 // every tier. A caller abandoning a queued request detaches before a
@@ -50,6 +58,7 @@ import (
 	"gpa/internal/gpusim"
 	"gpa/internal/obs"
 	"gpa/internal/profiler"
+	"gpa/internal/qos"
 	"gpa/internal/sass"
 	"gpa/internal/store"
 	"gpa/internal/structure"
@@ -146,6 +155,20 @@ type Request struct {
 	// can never depend on who asked. Pinned by
 	// TestTraceIDExcludedFromDigest.
 	TraceID string
+	// Tenant identifies the requesting client class for admission
+	// scheduling, quotas, and per-tenant accounting ("" = the default
+	// tenant). Like TraceID it is transport-only metadata, deliberately
+	// excluded from the result digest and every stage key: two tenants
+	// requesting the same kernel share one cache entry and one flight
+	// (the hit is billed to both quota buckets but simulated once), and
+	// results can never depend on who asked. Pinned by
+	// TestTenantExcludedFromDigest.
+	Tenant string
+	// Lane selects the admission priority lane (zero value =
+	// interactive; cmd/gpad routes /v1/batch and /v1/sweep to
+	// qos.LaneBatch). Excluded from the digest for the same reason as
+	// Tenant: scheduling priority cannot affect a completed result.
+	Lane qos.Lane
 }
 
 // defaultGPU is the shared default architecture model (the paper's
@@ -272,6 +295,17 @@ type Stats struct {
 	// Shed counts requests rejected with ErrQueueFull because the
 	// admission queue was at capacity.
 	Shed int64 `json:"shed"`
+	// QuotaShed counts requests rejected with ErrQuotaExceeded because
+	// the tenant's token bucket was empty (HTTP 429 at gpad).
+	QuotaShed int64 `json:"quotaShed"`
+	// BrownoutShed counts requests shed by the overload controller
+	// (ErrOverloaded): the engine was saturated and degraded batch-lane
+	// work to protect interactive latency.
+	BrownoutShed int64 `json:"brownoutShed"`
+	// QosDropped counts admitted waiters that left the queue ungranted:
+	// the caller canceled while queued, or a drain abandoned queued
+	// batch work.
+	QosDropped int64 `json:"qosDropped"`
 	// Evictions counts LRU cache evictions.
 	Evictions int64 `json:"evictions"`
 	// Inflight is the number of requests currently executing or queued
@@ -283,6 +317,12 @@ type Stats struct {
 	// QueueCapacity is the admission bound beyond the worker pool
 	// (Options.MaxQueue; 0 = unbounded admission).
 	QueueCapacity int64 `json:"queueCapacity"`
+	// InteractiveQueued / BatchQueued split Queued by admission lane.
+	InteractiveQueued int64 `json:"interactiveQueued"`
+	BatchQueued       int64 `json:"batchQueued"`
+	// BrownoutLevel is the overload controller's current level (0 =
+	// healthy; at the configured MaxLevel all batch arrivals are shed).
+	BrownoutLevel int64 `json:"brownoutLevel"`
 	// CacheEntries is the current number of cached responses.
 	CacheEntries int `json:"cacheEntries"`
 	// Workers is the engine's worker-pool bound.
@@ -323,7 +363,15 @@ type Stats struct {
 	// process-wide, so concurrent non-engine work inflates it; on a
 	// dedicated gpad it is the serving hot path's allocation rate.
 	AllocsPerJob float64 `json:"allocsPerJob"`
+	// Tenants is the per-tenant accounting snapshot (served, shed,
+	// quota, queue depth) keyed by tenant ID. Cardinality is bounded by
+	// the scheduler's MaxTenants overflow class, so gpad can render it
+	// as labeled /metrics series within a closed label set.
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
 }
+
+// TenantStats is one tenant's accounting snapshot (see qos.TenantStats).
+type TenantStats = qos.TenantStats
 
 // Options configures an engine.
 type Options struct {
@@ -348,17 +396,24 @@ type Options struct {
 	// outputs survive restarts and are shared across engines pointed at
 	// one directory. nil = in-memory stages only.
 	Disk *store.Disk
+	// QoS is the tenant-aware admission configuration (nil = one
+	// default tenant, no quotas, no interactive reserve, brownout off —
+	// the flat pre-tenancy behaviour plus FIFO fairness). It must be
+	// Validate-clean; qos.ParseConfig and the qos builders guarantee
+	// that, and New panics on an invalid config (a programmer error,
+	// not a runtime condition).
+	QoS *qos.Config
 }
 
 // Engine is the concurrent advice engine: a worker pool with a
 // content-addressed result cache and singleflight deduplication. Safe
 // for concurrent use.
 type Engine struct {
-	sem chan struct{}
-	// slots is the admission queue: nil when unbounded, else a
-	// semaphore of capacity Workers+MaxQueue acquired non-blockingly
-	// before a run may wait for a worker.
-	slots          chan struct{}
+	// adm is the tenant-aware admission scheduler (internal/qos): it
+	// owns the worker-slot accounting, the per-tenant queues and
+	// quotas, and the brownout controller that the engine's old flat
+	// Workers+MaxQueue semaphore pair has been replaced by.
+	adm            *qos.Scheduler
 	defaultTimeout time.Duration
 
 	// baseCtx parents every flight's run context, so Shutdown's hard
@@ -424,10 +479,17 @@ func New(opts Options) *Engine {
 	if entries == 0 {
 		entries = 512
 	}
+	qosCfg := qos.Config{}
+	if opts.QoS != nil {
+		if err := opts.QoS.Validate(); err != nil {
+			panic(fmt.Sprintf("service: invalid QoS config: %v", err))
+		}
+		qosCfg = *opts.QoS
+	}
 	//gpa:lint-allow ctxfirst engine-lifetime base context, not a per-call one; Shutdown cancels it and per-request ctxs layer on top
 	baseCtx, baseCancel := context.WithCancelCause(context.Background())
 	e := &Engine{
-		sem:            make(chan struct{}, workers),
+		adm:            qos.NewScheduler(workers, opts.MaxQueue, qosCfg),
 		defaultTimeout: opts.DefaultTimeout,
 		baseCtx:        baseCtx,
 		baseCancel:     baseCancel,
@@ -438,13 +500,6 @@ func New(opts Options) *Engine {
 		disk:           opts.Disk,
 		baseMallocs:    heapAllocObjects(),
 		lat:            obs.NewStageLatency(),
-	}
-	if opts.MaxQueue != 0 {
-		queue := opts.MaxQueue
-		if queue < 0 {
-			queue = 0
-		}
-		e.slots = make(chan struct{}, workers+queue)
 	}
 	return e
 }
@@ -481,6 +536,14 @@ func (e *Engine) Do(ctx context.Context, req *Request) (*Response, error) {
 		return nil, fmt.Errorf("service: %w", apierr.ErrShuttingDown)
 	default:
 	}
+	// Quota is charged before the cache and singleflight tiers: every
+	// request costs its tenant one token — cache hits and coalesced
+	// followers included, so a shared run is billed to every bucket
+	// that asked for it — and over-quota work is shed before costing
+	// anything.
+	if err := e.adm.Charge(req.Tenant); err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
 	ctx, cancel := e.withDeadline(ctx, req)
 	defer cancel()
 
@@ -492,7 +555,11 @@ func (e *Engine) Do(ctx context.Context, req *Request) (*Response, error) {
 		e.count(&e.stats.bypass)
 		// Uncacheable requests cannot share a flight, but the caller's
 		// ctx still cancels the run directly.
-		return e.execute(ctx, req, "")
+		resp, err := e.execute(ctx, req, "")
+		if err == nil {
+			e.adm.Served(req.Tenant)
+		}
+		return resp, err
 	}
 
 	e.mu.Lock()
@@ -500,6 +567,7 @@ func (e *Engine) Do(ctx context.Context, req *Request) (*Response, error) {
 		if resp := e.cache.get(key); resp != nil {
 			e.stats.hits++
 			e.mu.Unlock()
+			e.adm.Served(req.Tenant)
 			// The cached view is prebuilt at insertion: the warm hit
 			// path performs no allocation at all.
 			return resp, nil
@@ -551,6 +619,7 @@ func (e *Engine) Do(ctx context.Context, req *Request) (*Response, error) {
 		if c.err != nil {
 			return nil, c.err
 		}
+		e.adm.Served(req.Tenant)
 		if joined {
 			return c.cachedResp, nil
 		}
@@ -608,13 +677,15 @@ func (e *Engine) DoAll(ctx context.Context, reqs []*Request) ([]*Response, []err
 }
 
 // Shutdown drains the engine: new requests are rejected with
-// ErrShuttingDown, queued runs are abandoned immediately, and
+// ErrShuttingDown, queued batch-lane runs are abandoned immediately,
+// queued interactive-lane runs keep being scheduled (the
+// latency-sensitive queue drains before the engine gives up), and
 // in-flight simulations are given until ctx's deadline to finish.
-// When the deadline expires first, every remaining simulation is
-// canceled (the cancel checkpoints make them return promptly) and
-// Shutdown keeps waiting for them to unwind before returning ctx's
-// error. A nil error means the engine drained cleanly. Shutdown is
-// idempotent.
+// When the deadline expires first, every remaining simulation — and
+// every still-queued interactive run — is canceled (the cancel
+// checkpoints make them return promptly) and Shutdown keeps waiting
+// for them to unwind before returning ctx's error. A nil error means
+// the engine drained cleanly. Shutdown is idempotent.
 func (e *Engine) Shutdown(ctx context.Context) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -625,6 +696,7 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 		close(e.drainCh)
 	}
 	e.mu.Unlock()
+	e.adm.Drain()
 
 	tick := time.NewTicker(5 * time.Millisecond)
 	defer tick.Stop()
@@ -645,8 +717,10 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 				hardStopped = true
 				// Cancel every in-flight simulation, tagging the cause so
 				// their errors report "shutting down" rather than a
-				// client-side cancel.
+				// client-side cancel, and abandon any interactive work
+				// still queued (its grace period is over).
 				e.baseCancel(apierr.ErrShuttingDown)
+				e.adm.Halt()
 			}
 		case <-tick.C:
 		}
@@ -682,20 +756,9 @@ func (e *Engine) Stats() Stats {
 	if e.disk != nil {
 		diskStats = e.disk.Stats()
 	}
-	// Queued is derived, not counted: admitted requests minus the ones
-	// holding a worker slot right now (sem length is a consistent-enough
-	// read for a gauge).
-	running := int64(len(e.sem))
-	var queueCap int64
-	if e.slots != nil {
-		queueCap = int64(cap(e.slots) - cap(e.sem))
-	}
+	adm := e.adm.Snapshot()
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	queued := e.stats.inflight - running
-	if queued < 0 {
-		queued = 0
-	}
 	st := Stats{
 		Hits:          e.stats.hits,
 		Misses:        e.stats.misses,
@@ -707,14 +770,23 @@ func (e *Engine) Stats() Stats {
 		Errors:        e.stats.errors,
 		Canceled:      e.stats.canceled,
 		Shed:          e.stats.shed,
+		QuotaShed:     adm.QuotaShed,
+		BrownoutShed:  adm.BrownoutShed,
+		QosDropped:    adm.Dropped,
 		Evictions:     e.stats.evictions,
 		Inflight:      e.stats.inflight,
-		Queued:        queued,
-		QueueCapacity: queueCap,
-		CacheEntries:  e.cache.len(),
-		Workers:       cap(e.sem),
-		PoolGets:      poolGets,
-		PoolHits:      poolHits,
+		Queued:        adm.Queued,
+		QueueCapacity: e.adm.QueueCapacity(),
+
+		InteractiveQueued: adm.InteractiveQueued,
+		BatchQueued:       adm.BatchQueued,
+		BrownoutLevel:     int64(adm.BrownoutLevel),
+		Tenants:           adm.Tenants,
+
+		CacheEntries: e.cache.len(),
+		Workers:      e.adm.Workers(),
+		PoolGets:     poolGets,
+		PoolHits:     poolHits,
 
 		FFPeriodsDetected: ffPeriods,
 		FFCyclesSkipped:   ffCycles,
@@ -765,31 +837,27 @@ func (e *Engine) execute(ctx context.Context, req *Request, key string) (resp *R
 			return resp, nil
 		}
 	}
-	if e.slots != nil {
-		select {
-		case e.slots <- struct{}{}:
-			defer func() { <-e.slots }()
-		default:
-			e.count(&e.stats.shed)
-			return nil, fmt.Errorf("service: %w (capacity %d)", apierr.ErrQueueFull, cap(e.slots))
-		}
-	}
 	e.count(&e.stats.inflight)
 	defer func() {
 		e.mu.Lock()
 		e.stats.inflight--
 		e.mu.Unlock()
 	}()
-	select {
-	case e.sem <- struct{}{}:
-	case <-ctx.Done():
-		// Queued but never ran: no worker slot was spent.
-		return nil, fmt.Errorf("service: %w", apierr.Canceled(ctx.Err()))
-	case <-e.drainCh:
-		return nil, fmt.Errorf("service: %w: abandoned in queue", apierr.ErrShuttingDown)
+	release, aerr := e.adm.Acquire(ctx, n.Tenant, n.Lane)
+	if aerr != nil {
+		switch {
+		case errors.Is(aerr, apierr.ErrQueueFull):
+			e.count(&e.stats.shed)
+		case errors.Is(aerr, apierr.ErrCanceled) &&
+			errors.Is(context.Cause(ctx), apierr.ErrShuttingDown):
+			// Queued when the hard stop fired: the caller didn't give
+			// up, the server went away.
+			return nil, fmt.Errorf("service: %w: abandoned in queue", apierr.ErrShuttingDown)
+		}
+		return nil, fmt.Errorf("service: %w", aerr)
 	}
+	defer release()
 	defer func() {
-		<-e.sem
 		e.mu.Lock()
 		e.stats.runs++
 		if err != nil {

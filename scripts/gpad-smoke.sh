@@ -139,7 +139,7 @@ grep -q '"trace":"smoke-trace-1"' "$LOG" || {
 # errors and report sane percentiles.
 LOADOUT=$TMP/loadgen.json
 "$LOADGEN" -addr "http://$ADDR" -rps 20 -duration 2s -mix advise=1 -distinct 1 -out "$LOADOUT"
-grep -q '"schemaVersion": "gpa-loadgen/1"' "$LOADOUT" || {
+grep -q '"schemaVersion": "gpa-loadgen/2"' "$LOADOUT" || {
     echo "gpad-smoke: loadgen summary missing schema version" >&2
     cat "$LOADOUT" >&2
     exit 1
@@ -149,6 +149,87 @@ grep -q '"ok": 40' "$LOADOUT" || {
     cat "$LOADOUT" >&2
     exit 1
 }
+
+# Tenant-fair admission: a second gpad with one worker and a QoS
+# config. The over-quota tenant answers 429 quota_exceeded with a
+# computed integer Retry-After, and a two-tenant loadgen run is
+# accounted per tenant at /statsz. (The strict fairness ratio — a 10:1
+# offered load completing ~1:1 — is pinned deterministically by the
+# -race Go tests; the smoke asserts the serving surface end to end.)
+QADDR=${GPAD_QOS_ADDR:-127.0.0.1:8378}
+QLOG=$TMP/gpad-qos.log
+QOSCFG=$TMP/qos.json
+cat >"$QOSCFG" <<'EOF'
+{
+  "tenants": {
+    "smoke-limited": {"ratePerSec": 0.001, "burst": 1},
+    "smoke-a": {"weight": 1},
+    "smoke-b": {"weight": 1}
+  }
+}
+EOF
+"$BIN" -addr "$QADDR" -workers 1 -qos-config "$QOSCFG" -log-format json >"$QLOG" 2>&1 &
+QPID=$!
+trap 'kill $PID $QPID 2>/dev/null || true' EXIT INT TERM
+i=0
+until curl -sf "http://$QADDR/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "gpad-smoke: qos server did not become healthy" >&2
+        cat "$QLOG" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+# Burst 1 at a negligible refill rate: the first request is admitted,
+# the second is shed before touching the cache or a worker.
+curl -sf -X POST -H 'Content-Type: application/json' -H 'X-Tenant-Id: smoke-limited' \
+    -d "$REQ" "http://$QADDR/v1/advise" >/dev/null || {
+    echo "gpad-smoke: in-burst request for the metered tenant failed" >&2
+    exit 1
+}
+R429=$(curl -s -D - -o "$TMP/429.json" -X POST -H 'Content-Type: application/json' \
+    -H 'X-Tenant-Id: smoke-limited' -d "$REQ" "http://$QADDR/v1/advise")
+echo "$R429" | grep -q ' 429' || {
+    echo "gpad-smoke: over-quota request did not answer 429" >&2
+    echo "$R429" >&2
+    exit 1
+}
+RETRY=$(echo "$R429" | tr -d '\r' | grep -i '^Retry-After:' | awk '{print $2}')
+case "$RETRY" in
+'' | *[!0-9]*)
+    echo "gpad-smoke: 429 Retry-After is not an integer: '$RETRY'" >&2
+    exit 1
+    ;;
+esac
+grep -q '"code": "quota_exceeded"' "$TMP/429.json" || {
+    echo "gpad-smoke: 429 body missing quota_exceeded code" >&2
+    cat "$TMP/429.json" >&2
+    exit 1
+}
+
+# A 10:1 two-tenant mix: both tenants must be served and accounted
+# under their own names at /statsz and in the loadgen summary.
+FAIROUT=$TMP/fairness.json
+"$LOADGEN" -addr "http://$QADDR" -rps 20 -duration 2s -mix advise=1 -distinct 50 \
+    -tenants 'smoke-a=10,smoke-b=1' -scenario fairness-smoke -out "$FAIROUT"
+grep -q '"tenantMix": "smoke-a=10,smoke-b=1"' "$FAIROUT" || {
+    echo "gpad-smoke: loadgen summary missing the tenant mix" >&2
+    cat "$FAIROUT" >&2
+    exit 1
+}
+QSTATS=$(curl -sf "http://$QADDR/statsz")
+for TENANT in smoke-a smoke-b; do
+    SERVED=$(echo "$QSTATS" | sed -n "/\"$TENANT\"/,/}/p" | grep '"served"' | tr -dc '0-9')
+    if [ -z "$SERVED" ] || [ "$SERVED" -eq 0 ]; then
+        echo "gpad-smoke: tenant $TENANT has no served count at /statsz: $QSTATS" >&2
+        exit 1
+    fi
+done
+kill -TERM $QPID 2>/dev/null || true
+wait $QPID || true
+trap 'kill $PID 2>/dev/null || true' EXIT INT TERM
 
 # Graceful shutdown: SIGTERM drains and exits 0 within the drain
 # deadline, logging the completed drain.
@@ -167,4 +248,4 @@ grep -q 'shutdown complete' "$LOG" || {
     exit 1
 }
 
-echo "gpad-smoke: OK (one simulation, byte-identical cache hit, typed errors, metrics, traced logs, loadgen, clean shutdown)"
+echo "gpad-smoke: OK (one simulation, byte-identical cache hit, typed errors, metrics, traced logs, loadgen, tenant quotas and fairness accounting, clean shutdown)"
